@@ -1,0 +1,315 @@
+(* The costar command-line driver.
+
+     costar parse  --lang json file.json         parse with a built-in language
+     costar parse  --grammar g.ebnf --tokens "a b c"   parse terminal names
+     costar check  --grammar g.ebnf              static grammar report
+     costar lex    --lang minipy file.py         print the token stream
+     costar gen    --lang xml --size 100         emit a synthetic corpus file
+     costar sample --grammar g.ebnf -n 5         sample sentences
+
+   Grammars are given in the textual EBNF format of Costar_ebnf.Parse. *)
+
+open Cmdliner
+open Costar_grammar
+module P = Costar_core.Parser
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- Grammar / language sources ---------------------------------------- *)
+
+let load_grammar ?start path =
+  match Costar_ebnf.Parse.grammar_of_string ?start (read_file path) with
+  | Ok g -> Ok g
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let find_lang name =
+  match Costar_langs.Registry.find name with
+  | Some l -> Ok l
+  | None ->
+    Error
+      (Printf.sprintf "unknown language %s (available: %s)" name
+         (String.concat ", " Costar_langs.Registry.names))
+
+let lang_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lang" ] ~docv:"LANG"
+        ~doc:"Built-in benchmark language (json, xml, dot, minipy).")
+
+let grammar_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "grammar"; "g" ] ~docv:"FILE"
+        ~doc:"Grammar file in the textual EBNF format.")
+
+let lexer_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "lexer" ] ~docv:"FILE"
+        ~doc:"Lexer specification file (token rules as regex patterns).")
+
+let start_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "start" ] ~docv:"NT"
+        ~doc:"Start symbol (defaults to the first rule).")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("costar: " ^ msg);
+    exit 1
+
+(* Tokenize [input] for the selected source: a built-in language uses its
+   lexer, a --lexer spec builds one, and a bare grammar interprets the
+   input as whitespace-separated terminal names. *)
+let tokens_of_input ?lexer g lang input =
+  match lang, lexer with
+  | Some l, _ -> (
+    match Costar_langs.Lang.tokenize l input with
+    | Ok toks -> Ok toks
+    | Error msg -> Error msg)
+  | None, Some path -> (
+    match Costar_lex.Spec.scanner_of_string (read_file path) with
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Ok sc -> (
+      match Costar_lex.Scanner.tokenize sc g input with
+      | Ok toks -> Ok toks
+      | Error e -> Error (Fmt.str "%a" Costar_lex.Scanner.pp_error e)))
+  | None, None -> (
+    let names =
+      List.filter (fun s -> s <> "") (String.split_on_char ' '
+        (String.concat " " (String.split_on_char '\n' input)))
+    in
+    match
+      List.partition_map
+        (fun name ->
+          match Grammar.terminal_of_name g name with
+          | Some a -> Left (Token.make a name)
+          | None -> Right name)
+        names
+    with
+    | toks, [] -> Ok toks
+    | _, bad ->
+      Error
+        (Printf.sprintf "not terminals of the grammar: %s"
+           (String.concat ", " bad)))
+
+let resolve_source lang grammar start =
+  match lang, grammar with
+  | Some name, None ->
+    let l = or_die (find_lang name) in
+    (Costar_langs.Lang.grammar l, Some l)
+  | None, Some path -> (or_die (load_grammar ?start path), None)
+  | _ ->
+    prerr_endline "costar: give exactly one of --lang or --grammar";
+    exit 1
+
+(* --- parse -------------------------------------------------------------- *)
+
+let parse_cmd =
+  let input_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"INPUT" ~doc:"Input file (defaults to stdin).")
+  in
+  let tokens_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tokens" ] ~docv:"NAMES"
+          ~doc:"Parse this whitespace-separated terminal-name sequence.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Print the tree as GraphViz DOT.")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the machine trace.")
+  in
+  let run lang grammar lexer start input tokens dot trace =
+    let g, l = resolve_source lang grammar start in
+    let text =
+      match tokens, input with
+      | Some t, _ -> t
+      | None, Some path -> read_file path
+      | None, None -> In_channel.input_all stdin
+    in
+    let toks = or_die (tokens_of_input ?lexer g l text) in
+    let p = P.make g in
+    if trace then ignore (Costar_core.Trace.print p toks)
+    else begin
+      match P.run p toks with
+      | P.Unique v | P.Ambig v as r ->
+        (match r with
+        | P.Ambig _ -> prerr_endline "warning: input is ambiguous"
+        | _ -> ());
+        if dot then print_string (Tree.to_dot g v)
+        else Fmt.pr "%a@." (Tree.pp g) v
+      | P.Reject msg ->
+        prerr_endline ("syntax error: " ^ msg);
+        exit 1
+      | P.Error e ->
+        prerr_endline ("error: " ^ Costar_core.Types.error_to_string g e);
+        exit 2
+    end
+  in
+  let term =
+    Term.(
+      const run $ lang_arg $ grammar_arg $ lexer_arg $ start_arg $ input_arg
+      $ tokens_arg $ dot_arg $ trace_arg)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse input and print the parse tree.") term
+
+(* --- check -------------------------------------------------------------- *)
+
+let check_cmd =
+  let run lang grammar start =
+    let g, _ = resolve_source lang grammar start in
+    Printf.printf "terminals:    %d\nnonterminals: %d\nproductions:  %d\n"
+      (Grammar.num_terminals g)
+      (Grammar.num_nonterminals g)
+      (Grammar.num_productions g);
+    let anl = Analysis.make g in
+    (match Left_recursion.check g with
+    | Ok () -> print_endline "left recursion: none"
+    | Error xs ->
+      Printf.printf "left recursion: %s\n"
+        (String.concat ", " (List.map (Grammar.nonterminal_name g) xs)));
+    let warn pred label =
+      let bad =
+        List.filter pred
+          (List.init (Grammar.num_nonterminals g) (fun x -> x))
+      in
+      if bad <> [] then
+        Printf.printf "%s: %s\n" label
+          (String.concat ", " (List.map (Grammar.nonterminal_name g) bad))
+    in
+    warn (fun x -> not (Analysis.reachable anl x)) "unreachable";
+    warn (fun x -> not (Analysis.productive anl x)) "non-productive";
+    match Costar_ll1.Ll1.conflicts g with
+    | [] -> print_endline "LL(1): no conflicts (an LL(1) parser would suffice)"
+    | cs ->
+      Printf.printf "LL(1) conflicts: %d (adaptive prediction required)\n"
+        (List.length cs);
+      List.iteri
+        (fun i c ->
+          if i < 5 then Fmt.pr "  %a@." (Costar_ll1.Ll1.pp_conflict g) c)
+        cs
+  in
+  let term = Term.(const run $ lang_arg $ grammar_arg $ start_arg) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Static grammar report: sizes, left recursion, LL(1) conflicts.")
+    term
+
+(* --- lex ---------------------------------------------------------------- *)
+
+let lex_cmd =
+  let input_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"INPUT" ~doc:"Input file (defaults to stdin).")
+  in
+  let run lang input =
+    let name =
+      match lang with
+      | Some n -> n
+      | None ->
+        prerr_endline "costar lex: --lang is required";
+        exit 1
+    in
+    let l = or_die (find_lang name) in
+    let g = Costar_langs.Lang.grammar l in
+    let text =
+      match input with
+      | Some path -> read_file path
+      | None -> In_channel.input_all stdin
+    in
+    match Costar_langs.Lang.tokenize l text with
+    | Error msg ->
+      prerr_endline ("lexical error: " ^ msg);
+      exit 1
+    | Ok toks ->
+      List.iter
+        (fun t ->
+          Printf.printf "%4d:%-3d %-16s %s\n" t.Token.line t.Token.col
+            (Grammar.terminal_name g t.Token.term)
+            (String.escaped t.Token.lexeme))
+        toks
+  in
+  let term = Term.(const run $ lang_arg $ input_arg) in
+  Cmd.v (Cmd.info "lex" ~doc:"Tokenize input with a built-in lexer.") term
+
+(* --- gen ---------------------------------------------------------------- *)
+
+let gen_cmd =
+  let size_arg =
+    Arg.(value & opt int 100 & info [ "size" ] ~docv:"N" ~doc:"Target size.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+  in
+  let run lang size seed =
+    let name =
+      match lang with
+      | Some n -> n
+      | None ->
+        prerr_endline "costar gen: --lang is required";
+        exit 1
+    in
+    let l = or_die (find_lang name) in
+    print_string (Costar_langs.Lang.generate l ~seed ~size)
+  in
+  let term = Term.(const run $ lang_arg $ size_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit a synthetic corpus file for a language.")
+    term
+
+(* --- sample ------------------------------------------------------------- *)
+
+let sample_cmd =
+  let count_arg =
+    Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of sentences.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+  in
+  let run lang grammar start count seed =
+    let g, _ = resolve_source lang grammar start in
+    let rand = Random.State.make [| seed |] in
+    let printed = ref 0 in
+    let attempts = ref 0 in
+    while !printed < count && !attempts < count * 100 do
+      incr attempts;
+      match Sample.sentence g rand with
+      | Some w ->
+        incr printed;
+        print_endline (String.concat " " w)
+      | None -> ()
+    done;
+    if !printed < count then
+      prerr_endline "costar sample: grammar yields few short sentences"
+  in
+  let term =
+    Term.(const run $ lang_arg $ grammar_arg $ start_arg $ count_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Sample random sentences from a grammar.")
+    term
+
+let () =
+  let info =
+    Cmd.info "costar" ~version:"1.0.0"
+      ~doc:"A verified-style ALL(*) parser toolkit (CoStar reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ parse_cmd; check_cmd; lex_cmd; gen_cmd; sample_cmd ]))

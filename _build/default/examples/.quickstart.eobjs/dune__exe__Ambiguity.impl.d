@@ -1,0 +1,1 @@
+examples/ambiguity.ml: Costar_core Costar_earley Costar_grammar Fmt Grammar List Tree

@@ -1,0 +1,1 @@
+examples/calc.ml: Array Costar_core Costar_ebnf Costar_grammar Costar_lex Fmt Grammar Printf Regex Scanner Sys Token

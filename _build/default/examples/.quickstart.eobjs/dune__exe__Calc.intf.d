@@ -1,0 +1,1 @@
+examples/calc.mli:

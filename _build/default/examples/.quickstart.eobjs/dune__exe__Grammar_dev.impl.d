@@ -1,0 +1,1 @@
+examples/grammar_dev.ml: Costar_core Costar_earley Costar_ebnf Costar_grammar Costar_ll1 Fmt Grammar Left_recursion List Printf Random Sample String Transform Tree

@@ -1,0 +1,1 @@
+examples/grammar_dev.mli:

@@ -1,0 +1,1 @@
+examples/json_demo.ml: Costar_core Costar_grammar Costar_langs Grammar Json Lang List Printf String Token

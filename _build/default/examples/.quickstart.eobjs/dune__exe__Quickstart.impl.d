@@ -1,0 +1,1 @@
+examples/quickstart.ml: Costar_core Costar_ebnf Costar_grammar Costar_lex Fmt List Printf Regex Scanner String Tree

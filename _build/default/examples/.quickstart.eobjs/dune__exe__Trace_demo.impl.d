@@ -1,0 +1,1 @@
+examples/trace_demo.ml: Costar_core Costar_grammar Fmt Grammar

@@ -1,0 +1,1 @@
+examples/xml_validator.ml: Costar_core Costar_grammar Costar_langs Grammar Lang List Printf Token Tree Xml

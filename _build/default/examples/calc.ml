@@ -1,0 +1,94 @@
+(* A calculator: expression grammar + lexer + semantic actions that
+   evaluate during the fold.  Demonstrates the paper's §8 "semantic
+   actions" extension on top of the verified parser.
+
+   Run with:  dune exec examples/calc.exe -- "1 + 2 * (3 - 4) / 2" *)
+
+open Costar_grammar
+open Costar_lex
+
+let grammar =
+  match
+    Costar_ebnf.Parse.grammar_of_string
+      {|
+        expr   : term (('+' | '-') term)* ;
+        term   : factor (('*' | '/') factor)* ;
+        factor : NUM | '-' factor | '(' expr ')' ;
+      |}
+  with
+  | Ok g -> g
+  | Error msg -> failwith msg
+
+let scanner =
+  Scanner.make
+    [
+      Scanner.rule "NUM"
+        Regex.(seq [ plus digit; opt (seq [ chr '.'; plus digit ]) ]);
+      Scanner.rule "+" (Regex.chr '+');
+      Scanner.rule "-" (Regex.chr '-');
+      Scanner.rule "*" (Regex.chr '*');
+      Scanner.rule "/" (Regex.chr '/');
+      Scanner.rule "(" (Regex.chr '(');
+      Scanner.rule ")" (Regex.chr ')');
+      Scanner.rule "WS" ~skip:true (Regex.plus (Regex.set " \t"));
+    ]
+
+(* Values flowing through the fold: either a number, or an operator token
+   waiting to be applied by the enclosing sequence node. *)
+type v =
+  | Num of float
+  | Op of string
+  | Paren  (* parenthesis tokens, ignored *)
+
+let actions =
+  {
+    Costar_core.Semantics.on_token =
+      (fun tok ->
+        match Grammar.terminal_name grammar tok.Token.term with
+        | "NUM" -> Num (float_of_string tok.Token.lexeme)
+        | "(" | ")" -> Paren
+        | op -> Op op);
+    on_production =
+      (fun _prod kids ->
+        (* Evaluate a flat [v] sequence left to right: operators are binary
+           except a leading unary minus. *)
+        let rec apply acc = function
+          | [] -> acc
+          | Op op :: rest -> (
+            match rest with
+            | rhs :: rest' ->
+              let r = match rhs with Num n -> n | _ -> 0.0 in
+              let acc' =
+                match acc, op with
+                | Some l, "+" -> Some (l +. r)
+                | Some l, "-" -> Some (l -. r)
+                | Some l, "*" -> Some (l *. r)
+                | Some l, "/" -> Some (l /. r)
+                | None, "-" -> Some (-.r)  (* unary minus *)
+                | _, _ -> acc
+              in
+              apply acc' rest'
+            | [] -> acc)
+          | Num n :: rest -> apply (Some n) rest
+          | Paren :: rest -> apply acc rest
+        in
+        match apply None kids with Some n -> Num n | None -> Num 0.0);
+  }
+
+let () =
+  let input =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "1 + 2 * (3 - 4) / 2"
+  in
+  match Scanner.tokenize scanner grammar input with
+  | Error e -> Fmt.epr "%a@." Scanner.pp_error e
+  | Ok tokens -> (
+    let p = Costar_core.Parser.make grammar in
+    match Costar_core.Semantics.run p actions tokens with
+    | Costar_core.Semantics.Value (Num n) -> Printf.printf "%s = %g\n" input n
+    | Costar_core.Semantics.Value _ | Costar_core.Semantics.Ambiguous_value _
+      ->
+      print_endline "unexpected evaluation result"
+    | Costar_core.Semantics.Rejected msg ->
+      Printf.printf "syntax error: %s\n" msg
+    | Costar_core.Semantics.Failed e ->
+      Printf.printf "error: %s\n" (Costar_core.Types.error_to_string grammar e))

@@ -1,0 +1,72 @@
+(* Parse generated JSON with the benchmark grammar, then compute document
+   statistics with the semantic-action layer — no intermediate AST type,
+   the actions fold directly over the parse as it is evaluated.
+
+   Run with:  dune exec examples/json_demo.exe *)
+
+open Costar_grammar
+open Costar_langs
+
+type stats = {
+  objects : int;
+  arrays : int;
+  strings : int;
+  numbers : int;
+  literals : int;
+  max_depth : int;
+}
+
+let zero =
+  { objects = 0; arrays = 0; strings = 0; numbers = 0; literals = 0; max_depth = 0 }
+
+let merge a b =
+  {
+    objects = a.objects + b.objects;
+    arrays = a.arrays + b.arrays;
+    strings = a.strings + b.strings;
+    numbers = a.numbers + b.numbers;
+    literals = a.literals + b.literals;
+    max_depth = max a.max_depth b.max_depth;
+  }
+
+let () =
+  let lang = Json.lang in
+  let g = Lang.grammar lang in
+  let p = Costar_core.Parser.make g in
+  let src = Lang.generate lang ~seed:2024 ~size:400 in
+  Printf.printf "generated %d bytes of JSON; first 120: %s...\n\n"
+    (String.length src)
+    (String.sub src 0 (min 120 (String.length src)));
+  let actions =
+    {
+      Costar_core.Semantics.on_token =
+        (fun tok ->
+          match Grammar.terminal_name g tok.Token.term with
+          | "STRING" -> { zero with strings = 1 }
+          | "NUMBER" -> { zero with numbers = 1 }
+          | "true" | "false" | "null" -> { zero with literals = 1 }
+          | _ -> zero);
+      on_production =
+        (fun prod kids ->
+          let acc = List.fold_left merge zero kids in
+          match Grammar.nonterminal_name g prod.Grammar.lhs with
+          | "obj" ->
+            { acc with objects = acc.objects + 1; max_depth = acc.max_depth + 1 }
+          | "arr" ->
+            { acc with arrays = acc.arrays + 1; max_depth = acc.max_depth + 1 }
+          | _ -> acc);
+    }
+  in
+  let tokens = Lang.tokenize_exn lang src in
+  match Costar_core.Semantics.run p actions tokens with
+  | Costar_core.Semantics.Value s ->
+    Printf.printf "tokens:   %d\n" (List.length tokens);
+    Printf.printf "objects:  %d\narrays:   %d\nstrings:  %d\n" s.objects
+      s.arrays s.strings;
+    Printf.printf "numbers:  %d\nliterals: %d\nmax depth: %d\n" s.numbers
+      s.literals s.max_depth
+  | Costar_core.Semantics.Ambiguous_value _ ->
+    print_endline "unexpected ambiguity in the JSON grammar!"
+  | Costar_core.Semantics.Rejected msg -> print_endline ("rejected: " ^ msg)
+  | Costar_core.Semantics.Failed e ->
+    print_endline ("error: " ^ Costar_core.Types.error_to_string g e)

@@ -1,0 +1,1 @@
+lib/core/cache.ml: Config Costar_grammar Int List Map Types

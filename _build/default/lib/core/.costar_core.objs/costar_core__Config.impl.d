@@ -1,0 +1,1 @@
+lib/core/config.ml: Costar_grammar Int List Set

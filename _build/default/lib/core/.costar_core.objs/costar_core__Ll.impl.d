@@ -1,0 +1,1 @@
+lib/core/ll.ml: Config Costar_grammar Grammar Instr Int_set List Ll_set Token Types

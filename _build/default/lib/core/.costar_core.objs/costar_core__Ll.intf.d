@@ -1,0 +1,1 @@
+lib/core/ll.mli: Config Costar_grammar Grammar Token Types

@@ -1,0 +1,1 @@
+lib/core/machine.ml: Analysis Cache Costar_grammar Grammar Int_set List Predict Printf Token Tree Types

@@ -1,0 +1,1 @@
+lib/core/machine.mli: Analysis Cache Costar_grammar Grammar Int_set Token Tree Types

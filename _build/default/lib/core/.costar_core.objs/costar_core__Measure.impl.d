@@ -1,0 +1,1 @@
+lib/core/measure.ml: Array Costar_grammar Fmt Grammar Int Int_set List Machine

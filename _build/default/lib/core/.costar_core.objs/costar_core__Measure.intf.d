@@ -1,0 +1,1 @@
+lib/core/measure.mli: Costar_grammar Format Grammar Int_set Machine

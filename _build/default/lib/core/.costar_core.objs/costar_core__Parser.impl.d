@@ -1,0 +1,1 @@
+lib/core/parser.ml: Analysis Cache Costar_grammar Fmt List Machine Sll Tree Types

@@ -1,0 +1,1 @@
+lib/core/parser.mli: Analysis Cache Costar_grammar Format Grammar Machine Token Tree Types

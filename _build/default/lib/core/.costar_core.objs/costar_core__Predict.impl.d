@@ -1,0 +1,1 @@
+lib/core/predict.ml: Costar_grammar Grammar Ll Sll Types

@@ -1,0 +1,1 @@
+lib/core/predict.mli: Analysis Cache Costar_grammar Grammar Token Types

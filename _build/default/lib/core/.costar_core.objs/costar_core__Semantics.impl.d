@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Costar_grammar Grammar List Parser Printf Token Tree Types

@@ -1,0 +1,1 @@
+lib/core/semantics.mli: Costar_grammar Grammar Parser Token Tree Types

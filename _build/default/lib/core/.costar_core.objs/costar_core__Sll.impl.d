@@ -1,0 +1,1 @@
+lib/core/sll.ml: Analysis Cache Config Costar_grammar Grammar Instr Int_set List Sll_set Token Types

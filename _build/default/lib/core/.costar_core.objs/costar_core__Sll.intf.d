@@ -1,0 +1,1 @@
+lib/core/sll.mli: Analysis Cache Config Costar_grammar Grammar Token Types

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Costar_grammar Fmt Grammar Int_set List Machine Parser Printf String Token Tree

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Costar_grammar Format Machine Parser Token

@@ -1,0 +1,117 @@
+open Costar_grammar.Symbols
+
+type state_id = int
+
+type verdict =
+  | V_empty
+  | V_all_pred of int
+  | V_pending
+
+type info = {
+  configs : Config.sll list;
+  verdict : verdict;
+  accepting : int list;
+}
+
+module Key = struct
+  type t = Config.sll list
+
+  let rec compare l1 l2 =
+    match l1, l2 with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | c1 :: r1, c2 :: r2 ->
+      let c = Config.compare_sll c1 c2 in
+      if c <> 0 then c else compare r1 r2
+end
+
+module Key_map = Map.Make (Key)
+module Int_map' = Map.Make (Int)
+
+module Trans_key = struct
+  type t = state_id * terminal
+
+  let compare (s1, a1) (s2, a2) =
+    let c = Int.compare s1 s2 in
+    if c <> 0 then c else Int.compare a1 a2
+end
+
+module Trans_map = Map.Make (Trans_key)
+
+module Cfg_map = Map.Make (struct
+  type t = Config.sll
+
+  let compare = Config.compare_sll
+end)
+
+type t = {
+  ids : state_id Key_map.t;
+  infos : info Int_map'.t;
+  trans : state_id Trans_map.t;
+  inits : state_id Int_map'.t;
+  closures : (Config.sll list, Types.error) result Cfg_map.t;
+  next : int;
+  n_trans : int;
+}
+
+let empty =
+  {
+    ids = Key_map.empty;
+    infos = Int_map'.empty;
+    trans = Trans_map.empty;
+    inits = Int_map'.empty;
+    closures = Cfg_map.empty;
+    next = 0;
+    n_trans = 0;
+  }
+
+let num_states c = c.next
+let num_transitions c = c.n_trans
+
+let find_init c x = Int_map'.find_opt x c.inits
+let add_init c x sid = { c with inits = Int_map'.add x sid c.inits }
+
+let is_accepting (cfg : Config.sll) =
+  match cfg.s_ctx, cfg.s_frames with Config.Ctx_accept, [] -> true | _ -> false
+
+let compute_info configs =
+  let verdict =
+    match Config.preds_of_sll configs with
+    | [] -> V_empty
+    | [ p ] -> V_all_pred p
+    | _ -> V_pending
+  in
+  let accepting =
+    Config.preds_of_sll (List.filter is_accepting configs)
+  in
+  { configs; verdict; accepting }
+
+let intern c configs =
+  match Key_map.find_opt configs c.ids with
+  | Some sid -> (c, sid)
+  | None ->
+    let sid = c.next in
+    let info = compute_info configs in
+    ( {
+        c with
+        ids = Key_map.add configs sid c.ids;
+        infos = Int_map'.add sid info c.infos;
+        next = sid + 1;
+      },
+      sid )
+
+let info c sid =
+  match Int_map'.find_opt sid c.infos with
+  | Some i -> i
+  | None -> invalid_arg "Cache.info: unknown state id"
+
+let find_trans c sid a = Trans_map.find_opt (sid, a) c.trans
+
+let find_closure c cfg = Cfg_map.find_opt cfg c.closures
+
+let add_closure c cfg result =
+  { c with closures = Cfg_map.add cfg result c.closures }
+
+let add_trans c sid a sid' =
+  { c with trans = Trans_map.add (sid, a) sid' c.trans; n_trans = c.n_trans + 1 }

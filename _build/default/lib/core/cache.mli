@@ -1,0 +1,57 @@
+(** The SLL prediction cache: a persistent DFA per decision nonterminal
+    (paper, §3.4).
+
+    DFA states are interned canonical sets of SLL configurations; transitions
+    are keyed by (state, terminal).  The cache is a purely functional value
+    threaded through the machine state, exactly as in the Coq development; it
+    only ever grows, and may be carried across parses via
+    {!Parser.run_with_cache}. *)
+
+open Costar_grammar.Symbols
+
+type t
+
+type state_id = int
+
+(** Precomputed facts about an interned DFA state. *)
+type verdict =
+  | V_empty  (** no live subparsers: reject *)
+  | V_all_pred of int  (** all live subparsers carry this prediction *)
+  | V_pending  (** live subparsers disagree: keep scanning *)
+
+type info = {
+  configs : Config.sll list;  (** canonical (sorted, deduped) *)
+  verdict : verdict;
+  accepting : int list;
+      (** distinct predictions of configurations in accepting position *)
+}
+
+val empty : t
+
+val num_states : t -> int
+val num_transitions : t -> int
+
+(** Initial DFA state for a decision nonterminal, if already computed. *)
+val find_init : t -> nonterminal -> state_id option
+
+val add_init : t -> nonterminal -> state_id -> t
+
+(** [intern cache configs] returns the id for this canonical configuration
+    set, allocating (and precomputing {!info} for) a fresh state if new. *)
+val intern : t -> Config.sll list -> t * state_id
+
+val info : t -> state_id -> info
+
+val find_trans : t -> state_id -> terminal -> state_id option
+
+val add_trans : t -> state_id -> terminal -> state_id -> t
+
+(** Memoized single-configuration closures.  The closure of a configuration
+    set is the union of its members' closures, and identical configurations
+    recur constantly across DFA states, so caching per-configuration results
+    removes most closure work once the cache is warm. *)
+val find_closure :
+  t -> Config.sll -> (Config.sll list, Types.error) result option
+
+val add_closure :
+  t -> Config.sll -> (Config.sll list, Types.error) result -> t

@@ -1,0 +1,77 @@
+(** Prediction subparser configurations (paper, Fig. 1: [theta = (gamma, Psi)]).
+
+    A configuration carries the index of the candidate right-hand side it was
+    launched for ([pred]) and a stack of unprocessed-symbol frames.  SLL
+    configurations additionally carry a truncated-stack context marker: when
+    the frames are exhausted, the subparser simulates a return to the
+    statically computed caller continuations of the context nonterminal
+    (paper, §3.5 "stable return" frames), or accepts if end-of-input is
+    legal there. *)
+
+open Costar_grammar.Symbols
+
+(** Truncated-stack context for SLL subparsers. *)
+type sctx =
+  | Ctx_nt of nonterminal
+      (** Below the frames lies the (unknown) context of this nonterminal:
+          popping past it forks to all grammar callers. *)
+  | Ctx_accept
+      (** Reached by popping through a caller chain that may legally end the
+          input: the subparser is in accepting position. *)
+
+type sll = {
+  s_pred : int;
+  s_frames : symbol list list;
+  s_ctx : sctx;
+}
+
+type ll = {
+  l_pred : int;
+  l_frames : symbol list list;
+}
+
+let rec compare_frames f1 f2 =
+  match f1, f2 with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | s1 :: r1, s2 :: r2 ->
+    let c = compare_symbols s1 s2 in
+    if c <> 0 then c else compare_frames r1 r2
+
+let compare_sctx c1 c2 =
+  match c1, c2 with
+  | Ctx_nt x, Ctx_nt y -> Int.compare x y
+  | Ctx_nt _, Ctx_accept -> -1
+  | Ctx_accept, Ctx_nt _ -> 1
+  | Ctx_accept, Ctx_accept -> 0
+
+let compare_sll c1 c2 =
+  let c = Int.compare c1.s_pred c2.s_pred in
+  if c <> 0 then c
+  else
+    let c = compare_frames c1.s_frames c2.s_frames in
+    if c <> 0 then c else compare_sctx c1.s_ctx c2.s_ctx
+
+let compare_ll c1 c2 =
+  let c = Int.compare c1.l_pred c2.l_pred in
+  if c <> 0 then c else compare_frames c1.l_frames c2.l_frames
+
+module Sll_set = Set.Make (struct
+  type t = sll
+
+  let compare = compare_sll
+end)
+
+module Ll_set = Set.Make (struct
+  type t = ll
+
+  let compare = compare_ll
+end)
+
+(** Distinct predictions carried by a list of configurations, ascending. *)
+let preds_of_sll configs =
+  List.sort_uniq Int.compare (List.map (fun c -> c.s_pred) configs)
+
+let preds_of_ll configs =
+  List.sort_uniq Int.compare (List.map (fun c -> c.l_pred) configs)

@@ -1,0 +1,53 @@
+(** Optional prediction instrumentation (disabled by default).
+
+    When [enabled] is set, SLL and LL prediction record, per decision
+    nonterminal, how many times they ran and how many tokens of lookahead
+    they consumed.  Used by the benchmark harness and for performance
+    debugging; zero-cost-ish when disabled (one branch per prediction). *)
+
+let enabled = ref false
+
+type counter = {
+  mutable calls : int;
+  mutable tokens : int;
+}
+
+let sll_tbl : (int, counter) Hashtbl.t = Hashtbl.create 64
+let ll_tbl : (int, counter) Hashtbl.t = Hashtbl.create 64
+
+let record tbl x n =
+  let c =
+    match Hashtbl.find_opt tbl x with
+    | Some c -> c
+    | None ->
+      let c = { calls = 0; tokens = 0 } in
+      Hashtbl.add tbl x c;
+      c
+  in
+  c.calls <- c.calls + 1;
+  c.tokens <- c.tokens + n
+
+let record_sll x n = if !enabled then record sll_tbl x n
+let record_ll x n = if !enabled then record ll_tbl x n
+
+let reset () =
+  Hashtbl.reset sll_tbl;
+  Hashtbl.reset ll_tbl
+
+(** Totals: (sll calls, sll lookahead tokens, ll calls, ll lookahead). *)
+let totals () =
+  let sum tbl f = Hashtbl.fold (fun _ c acc -> acc + f c) tbl 0 in
+  ( sum sll_tbl (fun c -> c.calls),
+    sum sll_tbl (fun c -> c.tokens),
+    sum ll_tbl (fun c -> c.calls),
+    sum ll_tbl (fun c -> c.tokens) )
+
+(** Per-nonterminal rows sorted by lookahead volume: (nt, mode, calls,
+    tokens). *)
+let report () =
+  let rows tbl mode =
+    Hashtbl.fold (fun x c acc -> (x, mode, c.calls, c.tokens) :: acc) tbl []
+  in
+  List.sort
+    (fun (_, _, _, t1) (_, _, _, t2) -> compare t2 t1)
+    (rows sll_tbl `Sll @ rows ll_tbl `Ll)

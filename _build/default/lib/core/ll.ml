@@ -1,0 +1,80 @@
+open Costar_grammar
+open Costar_grammar.Symbols
+open Config
+
+exception Left_rec of nonterminal
+
+(* See the comment on [Sll.closure]: one visited-set snapshot per frame,
+   restored on pop, so that completed nullable subtrees do not poison later
+   expansions of the same nonterminal. *)
+let closure g configs =
+  let seen = ref Ll_set.empty in
+  let stable = ref [] in
+  let rec go cfg vises =
+    if not (Ll_set.mem cfg !seen) then begin
+      seen := Ll_set.add cfg !seen;
+      match cfg.l_frames, vises with
+      | [], _ ->
+        (* The simulated stack is exhausted: this subparser is in accepting
+           position (viable only if the input ends here). *)
+        stable := cfg :: !stable
+      | [] :: rest, _ :: vs -> go { cfg with l_frames = rest } vs
+      | (T _ :: _) :: _, _ -> stable := cfg :: !stable
+      | (NT y :: suf) :: rest, vis :: vs ->
+        if Int_set.mem y vis then raise (Left_rec y)
+        else
+          (* See Sll.closure: skip empty residue frames. *)
+          let frames_below, vises_below =
+            if suf = [] then (rest, vs) else (suf :: rest, vis :: vs)
+          in
+          let vises = Int_set.add y vis :: vises_below in
+          List.iter
+            (fun rhs -> go { cfg with l_frames = rhs :: frames_below } vises)
+            (Grammar.rhss_of g y)
+      | _ :: _, [] -> assert false (* one snapshot per frame *)
+    end
+  in
+  let fresh cfg = List.map (fun _ -> Int_set.empty) cfg.l_frames in
+  match List.iter (fun c -> go c (fresh c)) configs with
+  | () -> Ok (List.sort_uniq compare_ll !stable)
+  | exception Left_rec x -> Error (Types.Left_recursive x)
+
+let move configs a =
+  List.filter_map
+    (fun cfg ->
+      match cfg.l_frames with
+      | (T a' :: suf) :: rest when a' = a ->
+        Some { cfg with l_frames = suf :: rest }
+      | _ -> None)
+    configs
+
+let init_configs g x conts =
+  List.map
+    (fun ix -> { l_pred = ix; l_frames = (Grammar.prod g ix).rhs :: conts })
+    (Grammar.prods_of g x)
+
+let is_accepting cfg = cfg.l_frames = []
+
+let predict g x conts tokens =
+  let rec loop depth configs tokens =
+    match preds_of_ll configs with
+    | [] -> (Types.Reject_pred, depth)
+    | [ p ] -> (Types.Unique_pred p, depth)
+    | _ -> (
+      match tokens with
+      | [] -> (
+        match preds_of_ll (List.filter is_accepting configs) with
+        | [] -> (Types.Reject_pred, depth)
+        | [ p ] -> (Types.Unique_pred p, depth)
+        | p :: _ -> (Types.Ambig_pred p, depth))
+      | tok :: rest -> (
+        match closure g (move configs tok.Token.term) with
+        | Error e -> (Types.Error_pred e, depth)
+        | Ok configs' -> loop (depth + 1) configs' rest))
+  in
+  match closure g (init_configs g x conts) with
+  | Error e -> Types.Error_pred e
+  | Ok configs ->
+    let result, depth = loop 0 configs tokens in
+    Instr.record_ll x depth;
+    result

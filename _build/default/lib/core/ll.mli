@@ -1,0 +1,31 @@
+(** LL prediction (paper, §3.4): the slow, precise simulation.
+
+    LL subparsers carry a copy of the parser's full remaining suffix stack,
+    so their verdicts are exact with respect to the current machine state:
+
+    - [Unique_pred i]: production [i] is the only right-hand side that may
+      lead to a successful parse (Lemma 5.5);
+    - [Ambig_pred i]: production [i] completes the remaining input, and so
+      does at least one other — the input word is ambiguous;
+    - [Reject_pred]: no right-hand side completes the remaining input. *)
+
+open Costar_grammar
+open Costar_grammar.Symbols
+
+val closure :
+  Grammar.t -> Config.ll list -> (Config.ll list, Types.error) result
+
+val move : Config.ll list -> terminal -> Config.ll list
+
+(** [init_configs g x conts] launches one subparser per right-hand side of
+    [x]; [conts] is the parser's remaining suffix stack below the decision
+    point (unprocessed symbols only, topmost first). *)
+val init_configs : Grammar.t -> nonterminal -> symbol list list -> Config.ll list
+
+(** [predict g x conts tokens] runs exact LL prediction. *)
+val predict :
+  Grammar.t ->
+  nonterminal ->
+  symbol list list ->
+  Token.t list ->
+  Types.prediction

@@ -1,0 +1,200 @@
+open Costar_grammar
+open Costar_grammar.Symbols
+
+type frame = {
+  label : nonterminal option;
+  syms_rev : symbol list;
+  trees_rev : Tree.t list;
+  suf : symbol list;
+}
+
+type state = {
+  top : frame;
+  frames : frame list;
+  cache : Cache.t;
+  tokens : Token.t list;
+  visited : Int_set.t;
+  unique : bool;
+}
+
+type step_result =
+  | Step_accept of Tree.t
+  | Step_reject of string
+  | Step_error of Types.error
+  | Step_cont of state
+
+type env = {
+  g : Grammar.t;
+  anl : Analysis.t;
+}
+
+let make_env g = { g; anl = Analysis.make g }
+
+let init env ?(cache = Cache.empty) tokens =
+  {
+    top =
+      {
+        label = None;
+        syms_rev = [];
+        trees_rev = [];
+        suf = [ NT (Grammar.start env.g) ];
+      };
+    frames = [];
+    cache;
+    tokens;
+    visited = Int_set.empty;
+    unique = true;
+  }
+
+let conts st = st.top.suf :: List.map (fun f -> f.suf) st.frames
+
+let height st = 1 + List.length st.frames
+
+let pos_msg = function
+  | [] -> "at end of input"
+  | tok :: _ ->
+    if tok.Token.line > 0 then
+      Printf.sprintf "at line %d, column %d" tok.Token.line tok.Token.col
+    else "at token " ^ tok.Token.lexeme
+
+(* Defensive name lookup for error messages: input tokens may carry
+   terminal ids the grammar never interned. *)
+let safe_terminal_name g a =
+  if a >= 0 && a < Grammar.num_terminals g then Grammar.terminal_name g a
+  else Printf.sprintf "<unknown terminal %d>" a
+
+let consume env st a suf =
+  match st.tokens with
+  | tok :: rest when tok.Token.term = a ->
+    Step_cont
+      {
+        st with
+        top =
+          {
+            st.top with
+            syms_rev = T a :: st.top.syms_rev;
+            trees_rev = Tree.Leaf tok :: st.top.trees_rev;
+            suf;
+          };
+        tokens = rest;
+        visited = Int_set.empty;
+      }
+  | tok :: _ ->
+    Step_reject
+      (Printf.sprintf "expected '%s' but found '%s' (%S) %s"
+         (Grammar.terminal_name env.g a)
+         (safe_terminal_name env.g tok.Token.term)
+         tok.Token.lexeme (pos_msg st.tokens))
+  | [] ->
+    Step_reject
+      (Printf.sprintf "expected '%s' but reached end of input"
+         (Grammar.terminal_name env.g a))
+
+let push env st x suf =
+  if Int_set.mem x st.visited then Step_error (Types.Left_recursive x)
+  else
+    let conts () = suf :: List.map (fun f -> f.suf) st.frames in
+    let cache, pred =
+      Predict.adaptive_predict env.g env.anl st.cache x conts st.tokens
+    in
+    let do_push ix unique =
+      let gamma = (Grammar.prod env.g ix).rhs in
+      Step_cont
+        {
+          top = { label = Some x; syms_rev = []; trees_rev = []; suf = gamma };
+          frames = { st.top with suf } :: st.frames;
+          cache;
+          tokens = st.tokens;
+          visited = Int_set.add x st.visited;
+          unique = st.unique && unique;
+        }
+    in
+    match pred with
+    | Types.Unique_pred ix -> do_push ix true
+    | Types.Ambig_pred ix -> do_push ix false
+    | Types.Reject_pred ->
+      Step_reject
+        (Printf.sprintf "no viable alternative for %s %s"
+           (Grammar.nonterminal_name env.g x)
+           (pos_msg st.tokens))
+    | Types.Error_pred e -> Step_error e
+
+let return_op st =
+  match st.frames with
+  | caller :: frames -> (
+    match st.top.label with
+    | Some x ->
+      let node = Tree.Node (x, List.rev st.top.trees_rev) in
+      Step_cont
+        {
+          st with
+          top =
+            {
+              caller with
+              syms_rev = NT x :: caller.syms_rev;
+              trees_rev = node :: caller.trees_rev;
+            };
+          frames;
+          visited = Int_set.remove x st.visited;
+        }
+    | None -> Step_error (Types.Invalid_state "return from an unlabeled frame"))
+  | [] -> Step_error (Types.Invalid_state "return with no caller frame")
+
+let finish env st =
+  if st.tokens <> [] then
+    Step_reject
+      (Printf.sprintf "parse finished with input remaining %s"
+         (pos_msg st.tokens))
+  else
+    match st.top with
+    | { label = None; syms_rev = [ NT x ]; trees_rev = [ v ]; suf = [] }
+      when x = Grammar.start env.g ->
+      Step_accept v
+    | _ -> Step_error (Types.Invalid_state "malformed final configuration")
+
+let step env st =
+  match st.top.suf with
+  | T a :: suf -> consume env st a suf
+  | NT x :: suf -> push env st x suf
+  | [] -> if st.frames = [] then finish env st else return_op st
+
+(* --- StacksWf_I (Fig. 4) ------------------------------------------------ *)
+
+let stacks_wf env st =
+  let g = env.g in
+  (* A frame's full contents: processed symbols, then — if a child frame is
+     currently open — the child's nonterminal (the paper keeps it at the
+     head of the caller's suffix frame), then the unprocessed symbols. *)
+  let full_of frame child_label =
+    List.rev_append frame.syms_rev
+      (match child_label with
+      | Some x -> NT x :: frame.suf
+      | None -> frame.suf)
+  in
+  let rec frames_wf child_label frame rest =
+    match rest with
+    | [] -> (
+      (* Bottom frame: spells exactly the start symbol. *)
+      frame.label = None
+      &&
+      match full_of frame child_label with
+      | [ NT x ] -> x = Grammar.start g
+      | _ -> false)
+    | caller :: below -> (
+      match frame.label with
+      | Some x ->
+        (match Grammar.find_production g x (full_of frame child_label) with
+        | Some _ -> true
+        | None -> false)
+        && frames_wf (Some x) caller below
+      | None -> false)
+  in
+  let frames_wf top rest = frames_wf None top rest in
+  (* Each frame's trees correspond one-to-one with its processed symbols. *)
+  let trees_ok f =
+    List.length f.syms_rev = List.length f.trees_rev
+    && List.for_all2
+         (fun s v -> equal_symbol (Tree.root v) s)
+         f.syms_rev f.trees_rev
+  in
+  frames_wf st.top st.frames && List.for_all trees_ok (st.top :: st.frames)

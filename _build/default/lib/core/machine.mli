@@ -1,0 +1,63 @@
+(** The CoStar stack machine (paper, §3.2–3.3).
+
+    The machine state is exposed transparently so that the test suite can
+    check the paper's invariants (stack well-formedness, Fig. 4) and the
+    termination measure (§4) after every step.  Use {!Parser} for the
+    ordinary parsing API.
+
+    Following the Coq implementation, each frame pairs the prefix-stack and
+    suffix-stack components at one level: the processed symbols and their
+    partial parse trees (both reversed), the unprocessed symbols, and the
+    label — the open nonterminal whose prediction created the frame. *)
+
+open Costar_grammar
+open Costar_grammar.Symbols
+
+type frame = {
+  label : nonterminal option;  (** [None] only for the bottom frame. *)
+  syms_rev : symbol list;  (** processed symbols, most recent first *)
+  trees_rev : Tree.t list;  (** partial derivation, most recent first *)
+  suf : symbol list;  (** unprocessed symbols *)
+}
+
+type state = {
+  top : frame;
+  frames : frame list;  (** callers, innermost first *)
+  cache : Cache.t;
+  tokens : Token.t list;  (** remaining input *)
+  visited : Int_set.t;
+      (** nonterminals opened since the last consume (left-recursion guard) *)
+  unique : bool;  (** false once any prediction reported ambiguity *)
+}
+
+type step_result =
+  | Step_accept of Tree.t
+  | Step_reject of string
+  | Step_error of Types.error
+  | Step_cont of state
+
+(** Static context: the grammar and its analyses. *)
+type env = {
+  g : Grammar.t;
+  anl : Analysis.t;
+}
+
+val make_env : Grammar.t -> env
+
+(** Initial machine state for the grammar's start symbol. *)
+val init : env -> ?cache:Cache.t -> Token.t list -> state
+
+(** One atomic machine operation: consume, push, return, or finish. *)
+val step : env -> state -> step_result
+
+(** Unprocessed suffix-stack symbols below the top frame, topmost first
+    (the continuation passed to LL prediction). *)
+val conts : state -> symbol list list
+
+(** Stack height (number of frames). *)
+val height : state -> int
+
+(** The stack well-formedness invariant StacksWf_I (paper, Fig. 4): every
+    non-bottom frame, with its caller's label, spells out a production of
+    the grammar, and the bottom frame spells the start symbol. *)
+val stacks_wf : env -> state -> bool

@@ -1,0 +1,68 @@
+open Costar_grammar
+
+type result =
+  | Unique of Tree.t
+  | Ambig of Tree.t
+  | Reject of string
+  | Error of Types.error
+
+let pp_result g ppf = function
+  | Unique v -> Fmt.pf ppf "Unique %a" (Tree.pp g) v
+  | Ambig v -> Fmt.pf ppf "Ambig %a" (Tree.pp g) v
+  | Reject msg -> Fmt.pf ppf "Reject (%s)" msg
+  | Error e -> Fmt.pf ppf "Error (%s)" (Types.error_to_string g e)
+
+type t = {
+  menv : Machine.env;
+  (* The static grammar cache (paper, footnote 7): initial SLL DFA states
+     for every decision nonterminal, precomputed once per grammar.  Cache
+     contents never influence results (property-tested), only speed, so
+     memoizing it here is benign. *)
+  mutable base : Cache.t option;
+}
+
+let make g = { menv = Machine.make_env g; base = None }
+let grammar (p : t) = p.menv.Machine.g
+let analysis (p : t) = p.menv.Machine.anl
+let env (p : t) = p.menv
+
+let base_cache p =
+  match p.base with
+  | Some c -> c
+  | None ->
+    let g = grammar p and anl = analysis p in
+    let c = ref Cache.empty in
+    for x = 0 to Costar_grammar.Grammar.num_nonterminals g - 1 do
+      if
+        Analysis.reachable anl x
+        && List.length (Costar_grammar.Grammar.prods_of g x) > 1
+      then c := Sll.prepare ~deep:true g anl !c x
+    done;
+    p.base <- Some !c;
+    !c
+
+let multistep env ~inspect st0 =
+  let rec go st =
+    inspect st;
+    match Machine.step env st with
+    | Machine.Step_cont st' -> go st'
+    | Machine.Step_accept v ->
+      (* The uniqueness flag of the state that produced the final tree
+         decides the label (paper, §3.2). *)
+      ((if st.Machine.unique then Unique v else Ambig v), st.Machine.cache)
+    | Machine.Step_reject msg -> (Reject msg, st.Machine.cache)
+    | Machine.Step_error e -> (Error e, st.Machine.cache)
+  in
+  go st0
+
+let run_with_cache p cache tokens =
+  multistep p.menv ~inspect:ignore (Machine.init p.menv ~cache tokens)
+
+let run p tokens = fst (run_with_cache p (base_cache p) tokens)
+
+let run_inspect p ~inspect tokens =
+  fst
+    (multistep p.menv ~inspect
+       (Machine.init p.menv ~cache:(base_cache p) tokens))
+
+let parse g tokens = run (make g) tokens

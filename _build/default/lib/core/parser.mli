@@ -1,0 +1,49 @@
+(** The CoStar top-level API (paper, §3.1).
+
+    [parse] applied to a grammar and an input word returns a parse tree
+    labelled [Unique] or [Ambig], a [Reject] with a human-readable reason, or
+    an [Error] — which, per the paper's Theorem 5.8, never occurs for
+    non-left-recursive grammars (checked statically by
+    {!Costar_grammar.Left_recursion.check} and dynamically by the machine). *)
+
+open Costar_grammar
+
+type result =
+  | Unique of Tree.t  (** the sole parse tree for the input *)
+  | Ambig of Tree.t
+      (** a correct parse tree for an input that has at least one other *)
+  | Reject of string  (** the input is not in the grammar's language *)
+  | Error of Types.error
+
+val pp_result : Grammar.t -> Format.formatter -> result -> unit
+
+(** A prepared parser: the grammar together with its static analyses.
+    Build once, run on many inputs. *)
+type t
+
+val make : Grammar.t -> t
+val grammar : t -> Grammar.t
+val analysis : t -> Analysis.t
+val env : t -> Machine.env
+
+(** [run p w] parses the token sequence [w].  The prediction cache starts
+    from the parser's static grammar cache — the precomputed initial SLL
+    DFA states of the paper's footnote 7 — and is discarded afterwards;
+    nothing learned from [w] leaks into later runs.  (Cache contents never
+    affect results, only speed; use [run_with_cache p Cache.empty w] for a
+    run with no static cache at all.) *)
+val run : t -> Token.t list -> result
+
+(** [run_with_cache p cache w] additionally threads an SLL cache in and out,
+    allowing cache reuse across inputs (an extension over the paper's API;
+    see DESIGN.md, experiment E4). *)
+val run_with_cache : t -> Cache.t -> Token.t list -> result * Cache.t
+
+(** [run_inspect p ~inspect w] calls [inspect] on every intermediate machine
+    state, including the initial one (used for traces and invariant
+    checking). *)
+val run_inspect :
+  t -> inspect:(Machine.state -> unit) -> Token.t list -> result
+
+(** One-shot convenience: [parse g w = run (make g) w]. *)
+val parse : Grammar.t -> Token.t list -> result

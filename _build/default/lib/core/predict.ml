@@ -1,0 +1,20 @@
+open Costar_grammar
+
+let adaptive_predict g anl cache x conts tokens =
+  match Grammar.prods_of g x with
+  | [] ->
+    (* A nonterminal with no productions derives nothing. *)
+    (cache, Types.Reject_pred)
+  | [ ix ] ->
+    (* A single alternative needs no lookahead; SLL would answer
+       [Unique_pred ix] before consuming any token. *)
+    (cache, Types.Unique_pred ix)
+  | _ -> (
+    match Sll.predict g anl cache x tokens with
+    | (_, (Types.Unique_pred _ | Types.Reject_pred | Types.Error_pred _)) as r
+      ->
+      r
+    | cache, Types.Ambig_pred _ ->
+      (* The SLL overapproximation saw several survivors; re-predict in
+         exact LL mode before committing (paper, §3.4: failover). *)
+      (cache, Ll.predict g x (conts ()) tokens))

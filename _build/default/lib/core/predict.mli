@@ -1,0 +1,25 @@
+(** [adaptivePredict] (paper, §3.4): SLL first, failing over to LL when the
+    SLL result may be unsound.
+
+    SLL's [Unique_pred] and [Reject_pred] are trusted (SLL overapproximates
+    LL); an SLL [Ambig_pred] merely means several candidates survived, so
+    prediction recommences in exact LL mode, whose [Ambig_pred] genuinely
+    witnesses an ambiguous input. *)
+
+open Costar_grammar
+open Costar_grammar.Symbols
+
+(** [adaptive_predict g a cache x conts tokens] chooses a right-hand side
+    for decision nonterminal [x].  [conts] produces the unprocessed
+    remainder of the suffix stack below the decision; it is a thunk because
+    only the (rare) LL fallback needs it, and materializing it eagerly
+    would cost O(stack depth) on every push — quadratic on deeply
+    right-recursive inputs. *)
+val adaptive_predict :
+  Grammar.t ->
+  Analysis.t ->
+  Cache.t ->
+  nonterminal ->
+  (unit -> symbol list list) ->
+  Token.t list ->
+  Cache.t * Types.prediction

@@ -1,0 +1,34 @@
+(** Semantic actions over parse trees.
+
+    The paper lists user-defined semantic actions as future work (§8); this
+    module provides the action layer on top of the verified parser: a
+    catamorphism over parse trees where each production supplies a value
+    built from its children's values.  Ambiguity keeps its meaning from the
+    paper — actions run over the single tree the parser returns, and the
+    [Ambig] label is surfaced so callers can reject ambiguous inputs before
+    trusting the computed value.
+
+    (Semantic {e predicates}, which gate prediction itself, are out of
+    scope: they would change the parser's correctness statement.) *)
+
+open Costar_grammar
+
+type 'a actions = {
+  on_token : Token.t -> 'a;
+  on_production : Grammar.production -> 'a list -> 'a;
+      (** Called with the production used at a node and the values of its
+          children, in order. *)
+}
+
+(** Fold the actions over a tree.  [Error] when the tree is not well-formed
+    with respect to the grammar (impossible for trees the parser built). *)
+val eval : Grammar.t -> 'a actions -> Tree.t -> ('a, string) result
+
+type 'a result =
+  | Value of 'a  (** unique parse; action value *)
+  | Ambiguous_value of 'a  (** input was ambiguous; value of the tree returned *)
+  | Rejected of string
+  | Failed of Types.error
+
+(** Parse and evaluate in one step. *)
+val run : Parser.t -> 'a actions -> Token.t list -> 'a result

@@ -1,0 +1,159 @@
+open Costar_grammar
+open Costar_grammar.Symbols
+open Config
+
+exception Left_rec of nonterminal
+
+(* Closure carries one visited-set snapshot per frame, mirroring the
+   machine's visited set: pushing a frame for nonterminal [y] extends the
+   top snapshot with [y], and popping a frame restores the caller's
+   snapshot (the machine's "remove on return").  Expanding a nonterminal
+   already in the top snapshot witnesses a nullable cycle, i.e. genuine
+   left recursion. *)
+let closure g anl configs =
+  let seen = ref Sll_set.empty in
+  let stable = ref [] in
+  let rec go cfg vises =
+    if not (Sll_set.mem cfg !seen) then begin
+      seen := Sll_set.add cfg !seen;
+      match cfg.s_frames, vises with
+      | [], _ -> (
+        match cfg.s_ctx with
+        | Ctx_accept -> stable := cfg :: !stable
+        | Ctx_nt x ->
+          (* Simulated return past the truncated stack: fork to every static
+             caller continuation; accept if end-of-input is legal after x. *)
+          List.iter
+            (fun (y, beta) ->
+              go
+                { cfg with s_frames = [ beta ]; s_ctx = Ctx_nt y }
+                [ Int_set.empty ])
+            (Analysis.callers anl x);
+          if Analysis.endable anl x then
+            go { cfg with s_frames = []; s_ctx = Ctx_accept } [])
+      | [] :: rest, _ :: vs -> go { cfg with s_frames = rest } vs
+      | (T _ :: _) :: _, _ -> stable := cfg :: !stable
+      | (NT y :: suf) :: rest, vis :: vs ->
+        if Int_set.mem y vis then raise (Left_rec y)
+        else
+          (* Do not stack an empty residue frame: it would pop vacuously
+             later, and during long prediction scans (e.g. the XML
+             attribute loop) such residues otherwise accumulate, making
+             configurations — and hence every set comparison — grow
+             linearly with the scan. *)
+          let frames_below, vises_below =
+            if suf = [] then (rest, vs) else (suf :: rest, vis :: vs)
+          in
+          let vises = Int_set.add y vis :: vises_below in
+          List.iter
+            (fun rhs -> go { cfg with s_frames = rhs :: frames_below } vises)
+            (Grammar.rhss_of g y)
+      | _ :: _, [] -> assert false (* one snapshot per frame *)
+    end
+  in
+  let fresh cfg = List.map (fun _ -> Int_set.empty) cfg.s_frames in
+  match List.iter (fun c -> go c (fresh c)) configs with
+  | () -> Ok (List.sort_uniq compare_sll !stable)
+  | exception Left_rec x -> Error (Types.Left_recursive x)
+
+(* Closure of a configuration set through the per-configuration memo table
+   threaded in the cache: closure(S) = union over c in S of closure({c}). *)
+let closure_cached g anl cache configs =
+  let rec go cache acc = function
+    | [] -> (cache, Ok (List.sort_uniq compare_sll (List.concat acc)))
+    | cfg :: rest -> (
+      let cache, result =
+        match Cache.find_closure cache cfg with
+        | Some r -> (cache, r)
+        | None ->
+          let r = closure g anl [ cfg ] in
+          (Cache.add_closure cache cfg r, r)
+      in
+      match result with
+      | Error e -> (cache, Error e)
+      | Ok stable -> go cache (stable :: acc) rest)
+  in
+  go cache [] configs
+
+let move configs a =
+  List.filter_map
+    (fun cfg ->
+      match cfg.s_frames with
+      | (T a' :: suf) :: rest when a' = a ->
+        Some { cfg with s_frames = suf :: rest }
+      | _ -> None)
+    configs
+
+let init_configs g x =
+  List.map
+    (fun ix ->
+      { s_pred = ix; s_frames = [ (Grammar.prod g ix).rhs ]; s_ctx = Ctx_nt x })
+    (Grammar.prods_of g x)
+
+let rec loop g anl depth cache sid tokens =
+  let info = Cache.info cache sid in
+  match info.Cache.verdict with
+  | Cache.V_empty -> (cache, Types.Reject_pred, depth)
+  | Cache.V_all_pred p -> (cache, Types.Unique_pred p, depth)
+  | Cache.V_pending -> (
+    match tokens with
+    | [] -> (
+      match info.Cache.accepting with
+      | [] -> (cache, Types.Reject_pred, depth)
+      | [ p ] -> (cache, Types.Unique_pred p, depth)
+      | p :: _ -> (cache, Types.Ambig_pred p, depth))
+    | tok :: rest -> (
+      let a = tok.Token.term in
+      match Cache.find_trans cache sid a with
+      | Some sid' -> loop g anl (depth + 1) cache sid' rest
+      | None -> (
+        match closure_cached g anl cache (move info.Cache.configs a) with
+        | cache, Error e -> (cache, Types.Error_pred e, depth)
+        | cache, Ok configs' ->
+          let cache, sid' = Cache.intern cache configs' in
+          let cache = Cache.add_trans cache sid a sid' in
+          loop g anl (depth + 1) cache sid' rest)))
+
+let init g anl sid_cache x =
+  match Cache.find_init sid_cache x with
+  | Some sid -> Ok (sid_cache, sid)
+  | None -> (
+    match closure_cached g anl sid_cache (init_configs g x) with
+    | _, Error e -> Error e
+    | cache, Ok configs ->
+      let cache, sid = Cache.intern cache configs in
+      Ok (Cache.add_init cache x sid, sid))
+
+let prepare ?(deep = false) g anl cache x =
+  match init g anl cache x with
+  | Error _ -> cache
+  | Ok (cache, sid) ->
+    if not deep then cache
+    else begin
+      (* Also precompute the first DFA transition on every terminal: the
+         initial configuration sets of decision-heavy grammars are by far
+         the largest, so their outgoing closures dominate per-input cache
+         warm-up even though they are input-independent. *)
+      let info = Cache.info cache sid in
+      match info.Cache.verdict with
+      | Cache.V_empty | Cache.V_all_pred _ -> cache
+      | Cache.V_pending ->
+        let cache = ref cache in
+        for a = 0 to Grammar.num_terminals g - 1 do
+          if Cache.find_trans !cache sid a = None then
+            match closure_cached g anl !cache (move info.Cache.configs a) with
+            | cache', Error _ -> cache := cache'
+            | cache', Ok configs' ->
+              let cache', sid' = Cache.intern cache' configs' in
+              cache := Cache.add_trans cache' sid a sid'
+        done;
+        !cache
+    end
+
+let predict g anl cache x tokens =
+  match init g anl cache x with
+  | Error e -> (cache, Types.Error_pred e)
+  | Ok (cache, sid) ->
+    let cache, result, depth = loop g anl 0 cache sid tokens in
+    Instr.record_sll x depth;
+    (cache, result)

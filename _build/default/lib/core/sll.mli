@@ -1,0 +1,66 @@
+(** SLL prediction (paper, §3.4–3.5): the fast, cache-backed, imprecise
+    simulation.
+
+    SLL subparsers run on truncated stacks.  When a subparser exhausts its
+    frames it simulates a return to every statically computed caller
+    continuation of the context nonterminal (the "stable return" frames of
+    §3.5), which makes SLL a sound overapproximation of LL: every LL-viable
+    subparser has a surviving SLL counterpart.  Consequences used by
+    {!Predict}:
+
+    - [Unique_pred] is trustworthy (LL would choose the same side);
+    - [Reject_pred] is trustworthy (LL would reject too);
+    - [Ambig_pred] merely means "several candidates survived to end of
+      input" and must be re-checked in LL mode. *)
+
+open Costar_grammar
+open Costar_grammar.Symbols
+
+(** One closure/move round, exposed for testing.  [closure] saturates a
+    configuration set to its stable configurations (top symbol a terminal, or
+    accepting); it detects left recursion on nullable expansion cycles. *)
+val closure :
+  Grammar.t ->
+  Analysis.t ->
+  Config.sll list ->
+  (Config.sll list, Types.error) result
+
+(** [closure_cached g a cache configs] is {!closure} through the cache's
+    per-configuration memo table: the closure of a set is the union of its
+    members' closures, so single-configuration results are reusable across
+    DFA states. *)
+val closure_cached :
+  Grammar.t ->
+  Analysis.t ->
+  Cache.t ->
+  Config.sll list ->
+  Cache.t * (Config.sll list, Types.error) result
+
+(** [move configs a] advances every stable configuration whose top symbol is
+    the terminal [a]; accepting configurations are dropped. *)
+val move : Config.sll list -> terminal -> Config.sll list
+
+(** Initial configuration set for a decision nonterminal: one configuration
+    per right-hand side. *)
+val init_configs : Grammar.t -> nonterminal -> Config.sll list
+
+(** [prepare g a cache x] precomputes and interns the initial DFA state for
+    decision nonterminal [x] (a no-op if already present, or if the closure
+    detects left recursion — the error then resurfaces at prediction time).
+    With [~deep:true], the state's outgoing transition on every terminal is
+    precomputed as well (all of it input-independent).  Folding [prepare]
+    over all nonterminals builds the static grammar cache of the paper's
+    footnote 7. *)
+val prepare :
+  ?deep:bool -> Grammar.t -> Analysis.t -> Cache.t -> nonterminal -> Cache.t
+
+(** [predict g a cache x tokens] runs SLL prediction for decision
+    nonterminal [x] against the remaining tokens, reading and extending the
+    DFA cache. *)
+val predict :
+  Grammar.t ->
+  Analysis.t ->
+  Cache.t ->
+  nonterminal ->
+  Token.t list ->
+  Cache.t * Types.prediction

@@ -1,0 +1,50 @@
+open Costar_grammar
+open Costar_grammar.Symbols
+
+let pp_frame env ppf (f : Machine.frame) =
+  let g = env.Machine.g in
+  (match f.Machine.label with
+  | Some x -> Fmt.pf ppf "%s:" (Grammar.nonterminal_name g x)
+  | None -> ());
+  Grammar.pp_symbols g ppf f.Machine.suf
+
+let pp_state env ppf (st : Machine.state) =
+  let g = env.Machine.g in
+  (* Suffix stack, top frame first. *)
+  Fmt.pf ppf "@[<h>[%a]"
+    Fmt.(list ~sep:(any " | ") (pp_frame env))
+    (st.Machine.top :: st.Machine.frames);
+  (* Partial trees in the top prefix frame. *)
+  (match st.Machine.top.Machine.trees_rev with
+  | [] -> ()
+  | trees ->
+    Fmt.pf ppf "  trees: %a"
+      Fmt.(list ~sep:sp (Tree.pp g))
+      (List.rev trees));
+  (* Remaining input and visited set. *)
+  Fmt.pf ppf "  input: %s"
+    (match st.Machine.tokens with
+    | [] -> "<eof>"
+    | toks ->
+      String.concat " "
+        (List.map (fun t -> Grammar.terminal_name g t.Token.term) toks));
+  Fmt.pf ppf "  visited: {%s}@]"
+    (String.concat ","
+       (List.map (Grammar.nonterminal_name g) (Int_set.elements st.Machine.visited)))
+
+let run p tokens =
+  let env = Parser.env p in
+  let lines = ref [] in
+  let result =
+    Parser.run_inspect p
+      ~inspect:(fun st -> lines := Fmt.str "%a" (pp_state env) st :: !lines)
+      tokens
+  in
+  (List.rev !lines, result)
+
+let print p tokens =
+  let lines, result = run p tokens in
+  List.iteri (fun i line -> Printf.printf "(s%d) %s\n" i line) lines;
+  Printf.printf "=> %s\n"
+    (Fmt.str "%a" (Parser.pp_result (Parser.grammar p)) result);
+  result

@@ -1,0 +1,16 @@
+(** Machine-execution traces in the style of the paper's Fig. 2.
+
+    Each rendered state shows the suffix stack (unprocessed symbols, open
+    nonterminals bracketed), the partial parse trees of the top prefix
+    frame, the remaining tokens, and the visited set. *)
+
+open Costar_grammar
+
+val pp_state : Machine.env -> Format.formatter -> Machine.state -> unit
+
+(** Run the parser, collecting one rendered line per machine state (the
+    initial state included), and the final result. *)
+val run : Parser.t -> Token.t list -> string list * Parser.result
+
+(** [print p w] writes the trace to stdout and returns the result. *)
+val print : Parser.t -> Token.t list -> Parser.result

@@ -1,0 +1,1 @@
+lib/earley/count.ml: Array Costar_grammar Grammar List Set Stdlib Token Tree

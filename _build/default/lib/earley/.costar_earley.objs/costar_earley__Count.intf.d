@@ -1,0 +1,1 @@
+lib/earley/count.mli: Costar_grammar Grammar Symbols Token Tree

@@ -1,0 +1,1 @@
+lib/earley/recognizer.ml: Analysis Array Costar_grammar Grammar Int List Set Token

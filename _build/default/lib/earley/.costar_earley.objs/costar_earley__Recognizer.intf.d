@@ -1,0 +1,1 @@
+lib/earley/recognizer.mli: Costar_grammar Grammar Symbols Token

@@ -1,0 +1,30 @@
+(** Capped derivation counting: the ambiguity oracle.
+
+    [count_trees g w] computes [min cap N] where [N] is the number of
+    distinct parse trees for [w] rooted at the start symbol — including
+    [N = infinity], which unit/epsilon cycles can produce; the saturating
+    fixpoint converges to the cap in that case.  The CoStar test suite uses
+    [0 / 1 / >= 2] to decide the expected Reject / Unique / Ambig verdict
+    (paper, Theorems 5.1, 5.6, 5.11, 5.12). *)
+
+open Costar_grammar
+
+val count_trees : ?cap:int -> Grammar.t -> Token.t list -> int
+
+val count_trees_sym :
+  ?cap:int -> Grammar.t -> Symbols.nonterminal -> Token.t list -> int
+
+(** [enumerate ~limit ~depth g w] returns up to [limit] distinct parse trees
+    for [w], exploring derivations of depth at most [depth] (deeper trees —
+    only possible through unit/epsilon cycles — are ignored). *)
+val enumerate :
+  ?limit:int -> ?depth:int -> Grammar.t -> Token.t list -> Tree.t list
+
+(** [first_tree g w] extracts one parse tree for [w] — the one that prefers
+    earlier productions and leftmost-shortest splits — or [None] when
+    [w] is not in the language.  Unlike {!enumerate}, extraction is
+    polynomial: it is guided by the counting table and backtracks only
+    over unit/epsilon cycles.  When [count_trees g w = 1], this is {e the}
+    parse tree, making it an independent oracle for the parser's output
+    trees. *)
+val first_tree : Grammar.t -> Token.t list -> Tree.t option

@@ -1,0 +1,90 @@
+open Costar_grammar
+open Costar_grammar.Symbols
+
+type item = {
+  prod : int;
+  dot : int;
+  origin : int;
+}
+
+module Item_set = Set.Make (struct
+  type t = item
+
+  let compare i1 i2 =
+    let c = Int.compare i1.prod i2.prod in
+    if c <> 0 then c
+    else
+      let c = Int.compare i1.dot i2.dot in
+      if c <> 0 then c else Int.compare i1.origin i2.origin
+end)
+
+let accepts_sym g start w =
+  let anl = Analysis.make g in
+  let rhs_arr =
+    Array.map (fun p -> Array.of_list p.Grammar.rhs) (Grammar.prods g)
+  in
+  let toks = Array.of_list w in
+  let n = Array.length toks in
+  let sets = Array.make (n + 1) Item_set.empty in
+  (* Queue of unprocessed items per set, drained one set at a time. *)
+  let add i item queue =
+    if Item_set.mem item sets.(i) then queue
+    else begin
+      sets.(i) <- Item_set.add item sets.(i);
+      item :: queue
+    end
+  in
+  let next_sym item =
+    let rhs = rhs_arr.(item.prod) in
+    if item.dot < Array.length rhs then Some rhs.(item.dot) else None
+  in
+  let seed i queue =
+    List.fold_left
+      (fun q ix -> add i { prod = ix; dot = 0; origin = i } q)
+      queue (Grammar.prods_of g start)
+  in
+  let process i =
+    let queue = ref (Item_set.elements sets.(i)) in
+    while !queue <> [] do
+      let item = List.hd !queue in
+      queue := List.tl !queue;
+      match next_sym item with
+      | Some (NT y) ->
+        List.iter
+          (fun ix -> queue := add i { prod = ix; dot = 0; origin = i } !queue)
+          (Grammar.prods_of g y);
+        (* Aycock-Horspool: a nullable nonterminal may be skipped over
+           immediately, covering same-set completions. *)
+        if Analysis.nullable anl y then
+          queue := add i { item with dot = item.dot + 1 } !queue
+      | Some (T a) ->
+        if i < n && toks.(i).Token.term = a then
+          (* Scanning fills the next set; it is drained when we get there. *)
+          sets.(i + 1) <-
+            Item_set.add { item with dot = item.dot + 1 } sets.(i + 1)
+      | None ->
+        (* Completion: advance every item in the origin set waiting on this
+           item's left-hand side. *)
+        let lhs = (Grammar.prod g item.prod).Grammar.lhs in
+        Item_set.iter
+          (fun it ->
+            match next_sym it with
+            | Some (NT y) when y = lhs ->
+              queue := add i { it with dot = it.dot + 1 } !queue
+            | _ -> ())
+          sets.(item.origin)
+    done
+  in
+  sets.(0) <- Item_set.empty;
+  let _ = seed 0 [] in
+  for i = 0 to n do
+    process i
+  done;
+  Item_set.exists
+    (fun item ->
+      item.origin = 0
+      && (Grammar.prod g item.prod).Grammar.lhs = start
+      && next_sym item = None)
+    sets.(n)
+
+let accepts g w = accepts_sym g (Grammar.start g) w

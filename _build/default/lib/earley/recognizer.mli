@@ -1,0 +1,15 @@
+(** An Earley recognizer for arbitrary context-free grammars.
+
+    This is an independent implementation of language membership used as the
+    completeness oracle for the CoStar parser (DESIGN.md §4) and as the
+    general-CFG performance baseline (experiment E9).  It handles nullable
+    nonterminals via the Aycock–Horspool prediction fix and, unlike the
+    CoStar machine, is also correct for left-recursive grammars. *)
+
+open Costar_grammar
+
+(** [accepts g w]: is [w] in the language of [g]'s start symbol? *)
+val accepts : Grammar.t -> Token.t list -> bool
+
+(** [accepts_sym g x w]: does nonterminal [x] derive [w]? *)
+val accepts_sym : Grammar.t -> Symbols.nonterminal -> Token.t list -> bool

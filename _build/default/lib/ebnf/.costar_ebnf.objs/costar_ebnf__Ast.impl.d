@@ -1,0 +1,1 @@
+lib/ebnf/ast.ml: Fmt

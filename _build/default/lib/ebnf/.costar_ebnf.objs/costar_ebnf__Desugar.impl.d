@@ -1,0 +1,1 @@
+lib/ebnf/desugar.ml: Ast Costar_grammar Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/ebnf/desugar.mli: Ast Costar_grammar

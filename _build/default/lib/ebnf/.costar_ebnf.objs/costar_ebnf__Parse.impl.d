@@ -1,0 +1,1 @@
+lib/ebnf/parse.ml: Ast Buffer Desugar List Printf String

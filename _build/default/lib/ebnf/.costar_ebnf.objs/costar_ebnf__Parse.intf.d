@@ -1,0 +1,1 @@
+lib/ebnf/parse.mli: Ast Costar_grammar

@@ -1,0 +1,1 @@
+lib/ebnf/print.ml: Buffer Costar_grammar Grammar List String

@@ -1,0 +1,1 @@
+lib/ebnf/print.mli: Costar_grammar

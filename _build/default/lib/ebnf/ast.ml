@@ -1,0 +1,47 @@
+(** EBNF abstract syntax.
+
+    This is the input language of the grammar-conversion tool (paper, §6.1):
+    rules may use alternation, grouping, and the [? * +] postfix operators,
+    which {!Desugar} lowers to plain BNF. *)
+
+type exp =
+  | Ref of string  (** nonterminal reference *)
+  | Tok of string  (** named token kind, e.g. [STRING] *)
+  | Lit of string  (** literal terminal, e.g. ['{'] *)
+  | Seq of exp list  (** [Seq []] is epsilon *)
+  | Alt of exp list
+  | Opt of exp
+  | Star of exp
+  | Plus of exp
+
+type rule = {
+  name : string;
+  body : exp;
+}
+
+(** {1 Combinator-style builders} *)
+
+let r name = Ref name
+let tok name = Tok name
+let lit s = Lit s
+let seq es = Seq es
+let alt es = Alt es
+let opt e = Opt e
+let star e = Star e
+let plus e = Plus e
+let eps = Seq []
+
+let rule name body = { name; body }
+
+let rec pp_exp ppf = function
+  | Ref s -> Fmt.string ppf s
+  | Tok s -> Fmt.string ppf s
+  | Lit s -> Fmt.pf ppf "'%s'" s
+  | Seq [] -> Fmt.string ppf "()"
+  | Seq es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:sp pp_exp) es
+  | Alt es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " | ") pp_exp) es
+  | Opt e -> Fmt.pf ppf "%a?" pp_exp e
+  | Star e -> Fmt.pf ppf "%a*" pp_exp e
+  | Plus e -> Fmt.pf ppf "%a+" pp_exp e
+
+let pp_rule ppf rule = Fmt.pf ppf "%s : %a ;" rule.name pp_exp rule.body

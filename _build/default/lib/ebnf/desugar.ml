@@ -1,0 +1,72 @@
+open Ast
+module G = Costar_grammar.Grammar
+
+(* Synthesized-rule table: structural subexpression -> fresh nonterminal
+   name, plus the list of synthesized rules in creation order. *)
+type st = {
+  tbl : (exp, string) Hashtbl.t;
+  mutable synthesized : (string * G.elt list list) list;
+  mutable counter : int;
+}
+
+let fresh st prefix =
+  st.counter <- st.counter + 1;
+  Printf.sprintf "%s__%d" prefix st.counter
+
+(* An alternative is a list of grammar elements.  [flatten_alts] turns an
+   expression into its top-level alternatives; atoms inside an alternative
+   that are not plain symbols are delegated to synthesized nonterminals. *)
+let rec alternatives st (e : exp) : G.elt list list =
+  match e with
+  | Alt es -> List.concat_map (alternatives st) es
+  | _ -> [ elems st e ]
+
+and elems st (e : exp) : G.elt list =
+  match e with
+  | Seq es -> List.concat_map (elems st) es
+  | Ref name -> [ G.n name ]
+  | Tok name -> [ G.t name ]
+  | Lit s -> [ G.t s ]
+  | Alt _ | Opt _ | Star _ | Plus _ -> [ G.n (synthesize st e) ]
+
+and synthesize st e =
+  match Hashtbl.find_opt st.tbl e with
+  | Some name -> name
+  | None ->
+    let kind =
+      match e with
+      | Opt _ -> "opt"
+      | Star _ -> "star"
+      | Plus _ -> "plus"
+      | _ -> "grp"
+    in
+    let name = fresh st kind in
+    Hashtbl.add st.tbl e name;
+    let alts =
+      match e with
+      | Opt inner -> [ [] ] @ alternatives st inner
+      | Star inner ->
+        (* name -> eps | inner name  (right recursion) *)
+        let inner_alts = alternatives st inner in
+        [] :: List.map (fun alt -> alt @ [ G.n name ]) inner_alts
+      | Plus inner ->
+        (* name -> inner star(inner): the loop-continuation decision then
+           lives in the star nonterminal and needs one token (enter vs
+           follow), instead of a scan of a whole extra [inner] as the
+           naive [inner | inner name] expansion would require. *)
+        let star_name = synthesize st (Star inner) in
+        let inner_alts = alternatives st inner in
+        List.map (fun alt -> alt @ [ G.n star_name ]) inner_alts
+      | other -> alternatives st other
+    in
+    st.synthesized <- (name, alts) :: st.synthesized;
+    name
+
+let to_grammar ?extra_terminals ~start rules =
+  let st = { tbl = Hashtbl.create 64; synthesized = []; counter = 0 } in
+  let main =
+    List.map (fun rule -> (rule.name, alternatives st rule.body)) rules
+  in
+  (* Synthesized rules are appended after user rules, in creation order, so
+     production indices of user rules match the source. *)
+  G.define ?extra_terminals ~start (main @ List.rev st.synthesized)

@@ -1,0 +1,25 @@
+(** Lowering EBNF to BNF (paper, §6.1).
+
+    [? * +] operators and nested groups become fresh nonterminals with new
+    productions, exactly as the paper's ANTLR-to-CoStar conversion tool
+    does.  Repetition is expanded {e right}-recursively, so the result never
+    introduces left recursion:
+
+    - [e*] becomes [X -> eps | E X]
+    - [e+] becomes [X -> E S] with [S] the star of [e] (so the
+      loop-continuation decision needs one token of lookahead, as in
+      ANTLR's ATN loops, rather than a rescan of [e])
+    - [e?] becomes [X -> eps | E]
+    - a nested alternation or group becomes [X -> alt1 | alt2 | ...]
+
+    Structurally identical subexpressions share one synthesized nonterminal,
+    keeping the desugared grammar compact (and the Fig. 8 statistics
+    honest). *)
+
+(** [to_grammar ~start rules] lowers and builds the grammar.
+    @raise Invalid_argument on undefined references or duplicate rules. *)
+val to_grammar :
+  ?extra_terminals:string list ->
+  start:string ->
+  Ast.rule list ->
+  Costar_grammar.Grammar.t

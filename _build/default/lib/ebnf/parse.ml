@@ -1,0 +1,234 @@
+(* A hand-written lexer and recursive-descent parser for the textual EBNF
+   format.  (CoStar itself could parse this, but the grammar toolchain must
+   not depend on the parser it feeds.) *)
+
+type tok =
+  | Ident of string
+  | Literal of string
+  | Colon
+  | Semi
+  | Bar
+  | Lparen
+  | Rparen
+  | Quest
+  | Aster
+  | Plus_t
+  | Eof
+
+let tok_to_string = function
+  | Ident s -> s
+  | Literal s -> Printf.sprintf "'%s'" s
+  | Colon -> ":"
+  | Semi -> ";"
+  | Bar -> "|"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Quest -> "?"
+  | Aster -> "*"
+  | Plus_t -> "+"
+  | Eof -> "<eof>"
+
+exception Syntax_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Syntax_error s)) fmt
+
+let lex input =
+  let n = String.length input in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  while !i < n do
+    let c = input.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && input.[!i + 1] = '/' then begin
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && input.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '\n' then incr line;
+        if !i + 1 < n && input.[!i] = '*' && input.[!i + 1] = '/' then begin
+          i := !i + 2;
+          closed := true
+        end
+        else incr i
+      done;
+      if not !closed then fail "line %d: unterminated block comment" !line
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 8 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '\'' then begin
+          incr i;
+          closed := true
+        end
+        else if input.[!i] = '\\' && !i + 1 < n then begin
+          (* Escapes inside literals: \' \\ \n \t *)
+          (match input.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | ch -> Buffer.add_char buf ch);
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if not !closed then fail "line %d: unterminated literal" !line;
+      if Buffer.length buf = 0 then fail "line %d: empty literal" !line;
+      toks := Literal (Buffer.contents buf) :: !toks
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      toks := Ident (String.sub input start (!i - start)) :: !toks
+    end
+    else begin
+      (match c with
+      | ':' -> toks := Colon :: !toks
+      | ';' -> toks := Semi :: !toks
+      | '|' -> toks := Bar :: !toks
+      | '(' -> toks := Lparen :: !toks
+      | ')' -> toks := Rparen :: !toks
+      | '?' -> toks := Quest :: !toks
+      | '*' -> toks := Aster :: !toks
+      | '+' -> toks := Plus_t :: !toks
+      | _ -> fail "line %d: unexpected character %C" !line c);
+      incr i
+    end
+  done;
+  List.rev (Eof :: !toks)
+
+(* Recursive descent over the token list. *)
+type stream = { mutable toks : tok list }
+
+let peek s = match s.toks with [] -> Eof | t :: _ -> t
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect s t =
+  if peek s = t then advance s
+  else fail "expected %s but found %s" (tok_to_string t) (tok_to_string (peek s))
+
+let is_upper_ident name =
+  name <> "" && name.[0] >= 'A' && name.[0] <= 'Z'
+
+let rec parse_alts s =
+  let first = parse_seq s in
+  let rec more acc =
+    if peek s = Bar then begin
+      advance s;
+      more (parse_seq s :: acc)
+    end
+    else List.rev acc
+  in
+  match more [ first ] with [ single ] -> single | alts -> Ast.Alt alts
+
+and parse_seq s =
+  let rec items acc =
+    match peek s with
+    | Ident _ | Literal _ | Lparen -> items (parse_item s :: acc)
+    | _ -> List.rev acc
+  in
+  match items [] with [ single ] -> single | es -> Ast.Seq es
+
+and parse_item s =
+  let atom =
+    match peek s with
+    | Ident name ->
+      advance s;
+      if is_upper_ident name then Ast.Tok name else Ast.Ref name
+    | Literal lit ->
+      advance s;
+      Ast.Lit lit
+    | Lparen ->
+      advance s;
+      let inner = parse_alts s in
+      expect s Rparen;
+      inner
+    | t -> fail "expected an atom but found %s" (tok_to_string t)
+  in
+  let rec postfix e =
+    match peek s with
+    | Quest ->
+      advance s;
+      postfix (Ast.Opt e)
+    | Aster ->
+      advance s;
+      postfix (Ast.Star e)
+    | Plus_t ->
+      advance s;
+      postfix (Ast.Plus e)
+    | _ -> e
+  in
+  postfix atom
+
+let parse_rule s =
+  (* A defined rule is a nonterminal whatever its case (see
+     [resolve_refs] below); only *references* default by case. *)
+  match peek s with
+  | Ident name ->
+    advance s;
+    expect s Colon;
+    let body = parse_alts s in
+    expect s Semi;
+    Ast.rule name body
+  | t -> fail "expected a rule name but found %s" (tok_to_string t)
+
+(* Identifier case decides token-vs-nonterminal at parse time, but an
+   uppercase identifier that names a rule is unambiguously a nonterminal
+   reference: reinterpret it, so grammars with uppercase nonterminals (and
+   output of [Print.grammar_to_string]) round-trip. *)
+let resolve_refs rules =
+  let rule_names = List.map (fun r -> r.Ast.name) rules in
+  let rec fix = function
+    | Ast.Tok name when List.mem name rule_names -> Ast.Ref name
+    | (Ast.Tok _ | Ast.Ref _ | Ast.Lit _) as e -> e
+    | Ast.Seq es -> Ast.Seq (List.map fix es)
+    | Ast.Alt es -> Ast.Alt (List.map fix es)
+    | Ast.Opt e -> Ast.Opt (fix e)
+    | Ast.Star e -> Ast.Star (fix e)
+    | Ast.Plus e -> Ast.Plus (fix e)
+  in
+  List.map (fun r -> { r with Ast.body = fix r.Ast.body }) rules
+
+let rules_of_string input =
+  match
+    let s = { toks = lex input } in
+    let rec rules acc =
+      if peek s = Eof then List.rev acc else rules (parse_rule s :: acc)
+    in
+    rules []
+  with
+  | [] -> Error "empty grammar"
+  | rules -> Ok (resolve_refs rules)
+  | exception Syntax_error msg -> Error msg
+
+let grammar_of_string ?extra_terminals ?start input =
+  match rules_of_string input with
+  | Error _ as e -> e
+  | Ok rules -> (
+    let start =
+      match start with Some s -> s | None -> (List.hd rules).Ast.name
+    in
+    match Desugar.to_grammar ?extra_terminals ~start rules with
+    | g -> Ok g
+    | exception Invalid_argument msg -> Error msg)

@@ -1,0 +1,24 @@
+(** Parser for a textual EBNF grammar format (ANTLR-flavoured).
+
+    Syntax:
+    {v
+      // line comment       /* block comment */
+      json  : value ;
+      obj   : '{' pair (',' pair)* '}' | '{' '}' ;
+      pair  : STRING ':' value ;
+    v}
+
+    Lowercase identifiers are nonterminals, uppercase identifiers are token
+    kinds, quoted strings are literal terminals.  Postfix [? * +] and
+    parenthesised groups are supported.  The first rule is the default start
+    symbol. *)
+
+(** Parse the textual format into EBNF rules. *)
+val rules_of_string : string -> (Ast.rule list, string) result
+
+(** Parse and desugar in one step; [start] defaults to the first rule. *)
+val grammar_of_string :
+  ?extra_terminals:string list ->
+  ?start:string ->
+  string ->
+  (Costar_grammar.Grammar.t, string) result

@@ -1,0 +1,55 @@
+open Costar_grammar
+open Costar_grammar.Symbols
+
+(* A terminal name can be written bare only if the lexer reads it back as
+   an uppercase identifier; anything else is quoted, with escapes for the
+   quote and backslash characters. *)
+let is_upper_ident s =
+  s <> ""
+  && s.[0] >= 'A'
+  && s.[0] <= 'Z'
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_')
+       s
+
+let quote_terminal name =
+  if is_upper_ident name then name
+  else begin
+    let buf = Buffer.create (String.length name + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c ->
+        match c with
+        | '\'' -> Buffer.add_string buf "\\'"
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c -> Buffer.add_char buf c)
+      name;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  end
+
+let sym_to_string g = function
+  | T a -> quote_terminal (Grammar.terminal_name g a)
+  | NT x -> Grammar.nonterminal_name g x
+
+let rhs_to_string g rhs = String.concat " " (List.map (sym_to_string g) rhs)
+
+let grammar_to_string g =
+  let buf = Buffer.create 256 in
+  for x = 0 to Grammar.num_nonterminals g - 1 do
+    match Grammar.rhss_of g x with
+    | [] -> () (* nonterminals without productions cannot be expressed *)
+    | rhss ->
+      Buffer.add_string buf (Grammar.nonterminal_name g x);
+      Buffer.add_string buf " : ";
+      Buffer.add_string buf
+        (String.concat " | " (List.map (rhs_to_string g) rhss));
+      Buffer.add_string buf " ;\n"
+  done;
+  Buffer.contents buf

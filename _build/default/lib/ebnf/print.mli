@@ -1,0 +1,12 @@
+(** Printing grammars back to the textual EBNF format.
+
+    [grammar_to_string g] renders every nonterminal's alternatives, one
+    rule per line, such that [Parse.grammar_of_string] reparses it to a
+    structurally identical grammar (same rule order, same alternatives) —
+    property-tested round-tripping. *)
+
+val grammar_to_string : Costar_grammar.Grammar.t -> string
+
+(** Render a single right-hand side (terminal names quoted as needed). *)
+val rhs_to_string :
+  Costar_grammar.Grammar.t -> Costar_grammar.Symbols.symbol list -> string

@@ -1,0 +1,1 @@
+lib/extracted/extracted.ml: Array Costar_grammar Grammar Int List Map Option Set String Symbols Token

@@ -1,0 +1,1 @@
+lib/extracted/extracted.mli: Costar_grammar Grammar Token

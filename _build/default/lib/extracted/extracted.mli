@@ -1,0 +1,48 @@
+(** An "extraction-style" CoStar: the same ALL(star) algorithm as
+    {!Costar_core}, implemented the way code extracted from Coq looks —
+    string-named symbols compared lexicographically, AVL-tree maps and sets
+    from the standard library everywhere, no interning, no arrays, no hash
+    tables.
+
+    Two purposes (DESIGN.md, experiment E8):
+
+    - it reproduces the paper's §6.1 profiling observation that symbol
+      comparison functions ([compareNT]) dominate execution time on large
+      grammars, quantified here as the slowdown of this implementation
+      relative to the interned-integer core on each benchmark grammar;
+    - it is a second, independent implementation of the parser, and the
+      test suite checks that both produce identical verdicts and trees on
+      random grammars (differential testing).
+
+    The implementation is deliberately self-contained: it shares no code
+    with [Costar_core] beyond the token type. *)
+
+open Costar_grammar
+
+type symbol =
+  | T of string
+  | NT of string
+
+type tree =
+  | Leaf of string * string  (** terminal name, lexeme *)
+  | Node of string * tree list
+
+type result =
+  | Unique of tree
+  | Ambig of tree
+  | Reject
+  | Error of string
+
+type grammar
+
+(** Convert an interned grammar to the string-symbol representation. *)
+val of_grammar : Grammar.t -> grammar
+
+(** Build directly from (lhs, rhs) pairs in priority order. *)
+val make : start:string -> (string * symbol list) list -> grammar
+
+(** [parse g w] where tokens are (terminal name, lexeme) pairs. *)
+val parse : grammar -> (string * string) list -> result
+
+(** Run on a [Costar_grammar] token list by resolving terminal names. *)
+val parse_tokens : grammar -> Grammar.t -> Token.t list -> result

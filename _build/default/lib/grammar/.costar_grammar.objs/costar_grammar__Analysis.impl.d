@@ -1,0 +1,1 @@
+lib/grammar/analysis.ml: Array Grammar Int_set List Symbols

@@ -1,0 +1,1 @@
+lib/grammar/atn.ml: Array Buffer Grammar List Printf Symbols

@@ -1,0 +1,1 @@
+lib/grammar/atn.mli: Grammar Symbols

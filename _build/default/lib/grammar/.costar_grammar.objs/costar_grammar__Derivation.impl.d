@@ -1,0 +1,1 @@
+lib/grammar/derivation.ml: Grammar List Symbols Token Tree

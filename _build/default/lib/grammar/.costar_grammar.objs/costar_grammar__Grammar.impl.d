@@ -1,0 +1,1 @@
+lib/grammar/grammar.ml: Array Fmt List Pool Symbols Token

@@ -1,0 +1,1 @@
+lib/grammar/left_recursion.ml: Analysis Array Grammar Int_set Symbols

@@ -1,0 +1,1 @@
+lib/grammar/left_recursion.mli: Analysis Grammar Int_set Symbols

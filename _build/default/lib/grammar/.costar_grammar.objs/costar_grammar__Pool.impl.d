@@ -1,0 +1,1 @@
+lib/grammar/pool.ml: Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/grammar/sample.ml: Grammar List Option Random Symbols

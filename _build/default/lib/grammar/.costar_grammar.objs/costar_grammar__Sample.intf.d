@@ -1,0 +1,1 @@
+lib/grammar/sample.mli: Grammar Random Token

@@ -1,0 +1,1 @@
+lib/grammar/symbols.ml: Int Map Set

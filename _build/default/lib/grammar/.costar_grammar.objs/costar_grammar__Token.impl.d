@@ -1,0 +1,1 @@
+lib/grammar/token.ml: Fmt Pool String Symbols

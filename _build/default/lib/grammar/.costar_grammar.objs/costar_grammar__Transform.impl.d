@@ -1,0 +1,1 @@
+lib/grammar/transform.ml: Analysis Array Grammar Hashtbl Left_recursion List Option Printf Stdlib Symbols

@@ -1,0 +1,1 @@
+lib/grammar/tree.ml: Buffer Fmt Grammar Int Int_set List Printf String Symbols Token

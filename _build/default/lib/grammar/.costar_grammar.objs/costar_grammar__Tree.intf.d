@@ -1,0 +1,1 @@
+lib/grammar/tree.mli: Format Grammar Int_set Symbols Token

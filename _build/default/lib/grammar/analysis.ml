@@ -1,0 +1,213 @@
+open Symbols
+
+type t = {
+  g : Grammar.t;
+  nullable : bool array;
+  first : Int_set.t array;
+  follow : Int_set.t array;
+  follow_end : bool array;
+  reachable : bool array;
+  productive : bool array;
+  callers : (nonterminal * symbol list) list array;
+  endable : bool array;
+}
+
+(* Iterate [f] until it reports no change. *)
+let fixpoint f =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    f changed
+  done
+
+let compute_nullable g =
+  let n = Grammar.num_nonterminals g in
+  let nullable = Array.make n false in
+  let sym_nullable = function T _ -> false | NT x -> nullable.(x) in
+  fixpoint (fun changed ->
+      Array.iter
+        (fun p ->
+          if (not nullable.(p.Grammar.lhs)) && List.for_all sym_nullable p.rhs
+          then begin
+            nullable.(p.lhs) <- true;
+            changed := true
+          end)
+        (Grammar.prods g));
+  nullable
+
+let compute_first g nullable =
+  let n = Grammar.num_nonterminals g in
+  let first = Array.make n Int_set.empty in
+  let add x set changed =
+    let merged = Int_set.union first.(x) set in
+    if not (Int_set.equal merged first.(x)) then begin
+      first.(x) <- merged;
+      changed := true
+    end
+  in
+  fixpoint (fun changed ->
+      Array.iter
+        (fun p ->
+          let rec go = function
+            | [] -> ()
+            | T a :: _ -> add p.Grammar.lhs (Int_set.singleton a) changed
+            | NT y :: rest ->
+              add p.lhs first.(y) changed;
+              if nullable.(y) then go rest
+          in
+          go p.rhs)
+        (Grammar.prods g));
+  first
+
+let first_seq_of nullable first syms =
+  let rec go acc = function
+    | [] -> acc
+    | T a :: _ -> Int_set.add a acc
+    | NT y :: rest ->
+      let acc = Int_set.union first.(y) acc in
+      if nullable.(y) then go acc rest else acc
+  in
+  go Int_set.empty syms
+
+let nullable_seq_of nullable syms =
+  List.for_all (function T _ -> false | NT x -> nullable.(x)) syms
+
+let compute_follow g nullable first =
+  let n = Grammar.num_nonterminals g in
+  let follow = Array.make n Int_set.empty in
+  let follow_end = Array.make n false in
+  follow_end.(Grammar.start g) <- true;
+  fixpoint (fun changed ->
+      Array.iter
+        (fun p ->
+          let rec go = function
+            | [] -> ()
+            | T _ :: rest -> go rest
+            | NT x :: rest ->
+              let fs = first_seq_of nullable first rest in
+              let merged = Int_set.union follow.(x) fs in
+              if not (Int_set.equal merged follow.(x)) then begin
+                follow.(x) <- merged;
+                changed := true
+              end;
+              if nullable_seq_of nullable rest then begin
+                let merged = Int_set.union follow.(x) follow.(p.Grammar.lhs) in
+                if not (Int_set.equal merged follow.(x)) then begin
+                  follow.(x) <- merged;
+                  changed := true
+                end;
+                if follow_end.(p.lhs) && not follow_end.(x) then begin
+                  follow_end.(x) <- true;
+                  changed := true
+                end
+              end;
+              go rest
+          in
+          go p.rhs)
+        (Grammar.prods g));
+  (follow, follow_end)
+
+let compute_reachable g =
+  let n = Grammar.num_nonterminals g in
+  let reachable = Array.make n false in
+  let rec visit x =
+    if not reachable.(x) then begin
+      reachable.(x) <- true;
+      List.iter
+        (fun rhs ->
+          List.iter (function T _ -> () | NT y -> visit y) rhs)
+        (Grammar.rhss_of g x)
+    end
+  in
+  visit (Grammar.start g);
+  reachable
+
+let compute_productive g =
+  let n = Grammar.num_nonterminals g in
+  let productive = Array.make n false in
+  let sym_productive = function T _ -> true | NT x -> productive.(x) in
+  fixpoint (fun changed ->
+      Array.iter
+        (fun p ->
+          if
+            (not productive.(p.Grammar.lhs))
+            && List.for_all sym_productive p.rhs
+          then begin
+            productive.(p.lhs) <- true;
+            changed := true
+          end)
+        (Grammar.prods g));
+  productive
+
+let compute_callers g =
+  let n = Grammar.num_nonterminals g in
+  let callers = Array.make n [] in
+  let mem x entry =
+    List.exists
+      (fun (y, beta) ->
+        y = fst entry && compare_symbols beta (snd entry) = 0)
+      callers.(x)
+  in
+  Array.iter
+    (fun p ->
+      let rec go = function
+        | [] -> ()
+        | T _ :: rest -> go rest
+        | NT x :: rest ->
+          if not (mem x (p.Grammar.lhs, rest)) then
+            callers.(x) <- (p.lhs, rest) :: callers.(x);
+          go rest
+      in
+      go p.rhs)
+    (Grammar.prods g);
+  Array.map List.rev callers
+
+let compute_endable g nullable callers =
+  let n = Grammar.num_nonterminals g in
+  let endable = Array.make n false in
+  endable.(Grammar.start g) <- true;
+  fixpoint (fun changed ->
+      for x = 0 to n - 1 do
+        if not endable.(x) then
+          if
+            List.exists
+              (fun (y, beta) -> endable.(y) && nullable_seq_of nullable beta)
+              callers.(x)
+          then begin
+            endable.(x) <- true;
+            changed := true
+          end
+      done);
+  endable
+
+let make g =
+  let nullable = compute_nullable g in
+  let first = compute_first g nullable in
+  let follow, follow_end = compute_follow g nullable first in
+  let reachable = compute_reachable g in
+  let productive = compute_productive g in
+  let callers = compute_callers g in
+  let endable = compute_endable g nullable callers in
+  {
+    g;
+    nullable;
+    first;
+    follow;
+    follow_end;
+    reachable;
+    productive;
+    callers;
+    endable;
+  }
+
+let grammar a = a.g
+let nullable a x = a.nullable.(x)
+let nullable_seq a syms = nullable_seq_of a.nullable syms
+let first a x = a.first.(x)
+let first_seq a syms = first_seq_of a.nullable a.first syms
+let follow a x = a.follow.(x)
+let follow_end a x = a.follow_end.(x)
+let reachable a x = a.reachable.(x)
+let productive a x = a.productive.(x)
+let callers a x = a.callers.(x)
+let endable a x = a.endable.(x)

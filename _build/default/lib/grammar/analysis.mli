@@ -1,0 +1,53 @@
+(** Static grammar analyses.
+
+    These are the classical fixpoint analyses (nullable / FIRST / FOLLOW /
+    reachable / productive) plus two CoStar-specific artifacts:
+
+    - the {e callers} map, listing every grammar occurrence of a nonterminal
+      together with the right-hand-side suffix that follows it — the static
+      input to SLL prediction's "stable return" simulation (paper, §3.5);
+    - the {e endable} set: nonterminals whose yield may legally end the input
+      word, i.e. that occur in a position from which only nullable symbols
+      remain on some derivation path from the start symbol. *)
+
+open Symbols
+
+type t
+
+val make : Grammar.t -> t
+
+val grammar : t -> Grammar.t
+
+(** {1 Classical analyses} *)
+
+val nullable : t -> nonterminal -> bool
+
+(** A sequence of symbols is nullable iff every symbol in it is a nullable
+    nonterminal. *)
+val nullable_seq : t -> symbol list -> bool
+
+val first : t -> nonterminal -> Int_set.t
+
+(** FIRST of a sentential form. *)
+val first_seq : t -> symbol list -> Int_set.t
+
+(** FOLLOW set of a nonterminal (terminals only; see {!follow_end}). *)
+val follow : t -> nonterminal -> Int_set.t
+
+(** Whether end-of-input may follow the nonterminal. *)
+val follow_end : t -> nonterminal -> bool
+
+val reachable : t -> nonterminal -> bool
+val productive : t -> nonterminal -> bool
+
+(** {1 CoStar-specific artifacts} *)
+
+(** [callers a x] lists every occurrence of [x] on a right-hand side, as
+    pairs [(y, beta)] where the grammar contains [y -> alpha x beta].
+    Duplicate [(y, beta)] pairs are collapsed. *)
+val callers : t -> nonterminal -> (nonterminal * symbol list) list
+
+(** [endable a x] iff some derivation from the start symbol can end with the
+    yield of [x] (the start symbol is endable; if [y] is endable and
+    [y -> alpha x beta] with [beta] nullable, then [x] is endable). *)
+val endable : t -> nonterminal -> bool

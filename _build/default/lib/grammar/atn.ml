@@ -1,0 +1,120 @@
+open Symbols
+
+type state = int
+
+type edge =
+  | On_terminal of terminal * state
+  | On_nonterminal of nonterminal * state
+  | Epsilon of state
+
+type t = {
+  g : Grammar.t;
+  entry : state array;
+  accept : state array;
+  edges : edge list array;
+  prod_entry : state array;
+}
+
+let grammar t = t.g
+let num_states t = Array.length t.edges
+let entry t x = t.entry.(x)
+let accept t x = t.accept.(x)
+let edges t q = t.edges.(q)
+let production_entry t ix = t.prod_entry.(ix)
+
+let of_grammar g =
+  let nts = Grammar.num_nonterminals g in
+  (* States: per nonterminal an entry and an accept, plus one state per
+     position inside each production (|rhs| positions after the first). *)
+  let n_states =
+    ref (2 * nts)
+  in
+  let entry = Array.init nts (fun x -> 2 * x) in
+  let accept = Array.init nts (fun x -> (2 * x) + 1) in
+  let prods = Grammar.prods g in
+  let prod_entry = Array.make (Array.length prods) 0 in
+  (* First pass: number the interior states. *)
+  let interior =
+    Array.map
+      (fun p ->
+        let k = List.length p.Grammar.rhs in
+        (* Chain q0 --s1--> q1 ... --sk--> accept: q0 is fresh unless the
+           rhs is empty (then the production is an epsilon edge from the
+           entry and has no interior states beyond its start marker). *)
+        let states = Array.init k (fun _ ->
+            let q = !n_states in
+            incr n_states;
+            q)
+        in
+        states)
+      prods
+  in
+  let edges = Array.make !n_states [] in
+  let add q e = edges.(q) <- e :: edges.(q) in
+  Array.iteri
+    (fun ix p ->
+      let x = p.Grammar.lhs in
+      let chain = interior.(ix) in
+      let k = Array.length chain in
+      let q0 = if k = 0 then accept.(x) else chain.(0) in
+      prod_entry.(ix) <- q0;
+      (* Entry fans out to each alternative. *)
+      if k = 0 then add entry.(x) (Epsilon accept.(x))
+      else begin
+        add entry.(x) (Epsilon chain.(0));
+        List.iteri
+          (fun i s ->
+            let target = if i = k - 1 then accept.(x) else chain.(i + 1) in
+            match s with
+            | T a -> add chain.(i) (On_terminal (a, target))
+            | NT y -> add chain.(i) (On_nonterminal (y, target)))
+          p.rhs
+      end)
+    prods;
+  (* Edge lists were built in reverse. *)
+  Array.iteri (fun i l -> edges.(i) <- List.rev l) edges;
+  { g; entry; accept; edges; prod_entry }
+
+let spell_production t ix =
+  let p = Grammar.prod t.g ix in
+  let stop = t.accept.(p.Grammar.lhs) in
+  let rec walk q acc =
+    if q = stop then List.rev acc
+    else
+      match t.edges.(q) with
+      | [ On_terminal (a, q') ] -> walk q' (T a :: acc)
+      | [ On_nonterminal (y, q') ] -> walk q' (NT y :: acc)
+      | [ Epsilon q' ] -> walk q' acc
+      | _ -> invalid_arg "Atn.spell_production: not a chain state"
+  in
+  if t.prod_entry.(ix) = stop then []
+  else walk t.prod_entry.(ix) []
+
+let to_dot t =
+  let g = t.g in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph atn {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for x = 0 to Grammar.num_nonterminals g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  q%d [label=\"%s\", shape=box];\n" t.entry.(x)
+         (Grammar.nonterminal_name g x));
+    Buffer.add_string buf
+      (Printf.sprintf "  q%d [shape=doublecircle];\n" t.accept.(x))
+  done;
+  Array.iteri
+    (fun q outs ->
+      List.iter
+        (fun e ->
+          let label, q' =
+            match e with
+            | On_terminal (a, q') ->
+              (Printf.sprintf "'%s'" (Grammar.terminal_name g a), q')
+            | On_nonterminal (y, q') -> (Grammar.nonterminal_name g y, q')
+            | Epsilon q' -> ("\xce\xb5", q')
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  q%d -> q%d [label=\"%s\"];\n" q q' label))
+        outs)
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

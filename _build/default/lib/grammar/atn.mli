@@ -1,0 +1,43 @@
+(** Augmented transition networks (Woods 1970).
+
+    Original ALL(star) operates on an ATN rather than on a CFG directly; the
+    paper (§3.5) notes the difference is minor because "an ATN is merely a
+    graph representation of a CFG".  This module makes that statement
+    concrete: it builds the ATN graph of a grammar — one submachine per
+    nonterminal, an epsilon fan-out to each alternative's chain of
+    symbol-labelled edges, and a shared accept state — and can render it to
+    GraphViz for grammar debugging.  The test suite checks that reading the
+    chains back reconstructs the grammar exactly. *)
+
+open Symbols
+
+type state = int
+
+type edge =
+  | On_terminal of terminal * state
+  | On_nonterminal of nonterminal * state
+  | Epsilon of state
+
+type t
+
+val of_grammar : Grammar.t -> t
+
+val grammar : t -> Grammar.t
+val num_states : t -> int
+
+(** Entry and accept states of a nonterminal's submachine. *)
+val entry : t -> nonterminal -> state
+val accept : t -> nonterminal -> state
+
+(** Outgoing edges of a state. *)
+val edges : t -> state -> edge list
+
+(** First state of the chain encoding a production (by production index);
+    following the unique symbol-labelled path from it to the accept state
+    spells the production's right-hand side. *)
+val production_entry : t -> int -> state
+
+(** Read a production's right-hand side back off the graph. *)
+val spell_production : t -> int -> symbol list
+
+val to_dot : t -> string

@@ -1,0 +1,122 @@
+open Symbols
+
+type production = { lhs : nonterminal; rhs : symbol list; ix : int }
+
+type t = {
+  start : nonterminal;
+  prods : production array;
+  by_lhs : int list array;
+  terms : Pool.t;
+  nts : Pool.t;
+  max_rhs_len : int;
+}
+
+type elt = Tm of string | Ntm of string
+
+let t s = Tm s
+let n s = Ntm s
+
+let define ?(allow_undefined = false) ?(extra_terminals = []) ~start rules =
+  if rules = [] then invalid_arg "Grammar.define: no rules";
+  let terms = Pool.create () and nts = Pool.create () in
+  (* Intern all nonterminals first, in rule order, so identifiers are stable
+     and independent of right-hand-side contents. *)
+  List.iter
+    (fun (name, _) ->
+      match Pool.find nts name with
+      | Some _ -> invalid_arg ("Grammar.define: duplicate rule for " ^ name)
+      | None -> ignore (Pool.intern nts name))
+    rules;
+  let start =
+    match Pool.find nts start with
+    | Some x -> x
+    | None -> invalid_arg ("Grammar.define: undefined start symbol " ^ start)
+  in
+  let sym_of_elt = function
+    | Tm a -> T (Pool.intern terms a)
+    | Ntm x -> (
+      match Pool.find nts x with
+      | Some id -> NT id
+      | None ->
+        if allow_undefined then NT (Pool.intern nts x)
+        else invalid_arg ("Grammar.define: undefined nonterminal " ^ x))
+  in
+  let prods =
+    List.concat_map
+      (fun (name, alts) ->
+        let lhs =
+          match Pool.find nts name with Some x -> x | None -> assert false
+        in
+        List.map (fun alt -> (lhs, List.map sym_of_elt alt)) alts)
+      rules
+  in
+  List.iter (fun a -> ignore (Pool.intern terms a)) extra_terminals;
+  let prods =
+    Array.of_list (List.mapi (fun ix (lhs, rhs) -> { lhs; rhs; ix }) prods)
+  in
+  let by_lhs = Array.make (Pool.size nts) [] in
+  Array.iter (fun p -> by_lhs.(p.lhs) <- p.ix :: by_lhs.(p.lhs)) prods;
+  Array.iteri (fun i l -> by_lhs.(i) <- List.rev l) by_lhs;
+  let max_rhs_len =
+    Array.fold_left (fun acc p -> max acc (List.length p.rhs)) 0 prods
+  in
+  { start; prods; by_lhs; terms; nts; max_rhs_len }
+
+let start g = g.start
+let prods g = g.prods
+let prod g i = g.prods.(i)
+
+let prods_of g x =
+  if x < 0 || x >= Array.length g.by_lhs then [] else g.by_lhs.(x)
+
+let rhss_of g x = List.map (fun i -> g.prods.(i).rhs) (prods_of g x)
+
+let num_terminals g = Pool.size g.terms
+let num_nonterminals g = Pool.size g.nts
+let num_productions g = Array.length g.prods
+
+let terminal_name g a = Pool.name g.terms a
+let nonterminal_name g x = Pool.name g.nts x
+
+let symbol_name g = function
+  | T a -> terminal_name g a
+  | NT x -> nonterminal_name g x
+
+let terminal_of_name g s = Pool.find g.terms s
+let nonterminal_of_name g s = Pool.find g.nts s
+
+let find_production g x rhs =
+  let rec go = function
+    | [] -> None
+    | i :: rest ->
+      let p = g.prods.(i) in
+      if compare_symbols p.rhs rhs = 0 then Some p else go rest
+  in
+  go (prods_of g x)
+
+let max_rhs_len g = g.max_rhs_len
+
+let token ?line ?col g name lexeme =
+  match terminal_of_name g name with
+  | Some a -> Token.make ?line ?col a lexeme
+  | None -> invalid_arg ("Grammar.token: unknown terminal " ^ name)
+
+let tokens g names = List.map (fun name -> token g name name) names
+
+let pp_symbol g ppf s =
+  match s with
+  | T a -> Fmt.pf ppf "'%s'" (terminal_name g a)
+  | NT x -> Fmt.string ppf (nonterminal_name g x)
+
+let pp_symbols g ppf syms =
+  match syms with
+  | [] -> Fmt.string ppf "\xce\xb5" (* epsilon *)
+  | _ -> Fmt.(hbox (list ~sep:sp (pp_symbol g))) ppf syms
+
+let pp_production g ppf p =
+  Fmt.pf ppf "@[<h>%s -> %a@]" (nonterminal_name g p.lhs) (pp_symbols g) p.rhs
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>start: %s@,%a@]" (nonterminal_name g g.start)
+    Fmt.(array ~sep:cut (pp_production g))
+    g.prods

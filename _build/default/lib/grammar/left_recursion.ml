@@ -1,0 +1,47 @@
+open Symbols
+
+(* Left edges: x -> y when x -> alpha y beta with alpha nullable. *)
+let left_edges g a =
+  let n = Grammar.num_nonterminals g in
+  let edges = Array.make n Int_set.empty in
+  Array.iter
+    (fun p ->
+      let rec go = function
+        | [] -> ()
+        | T _ :: _ -> ()
+        | NT y :: rest ->
+          edges.(p.Grammar.lhs) <- Int_set.add y edges.(p.Grammar.lhs);
+          if Analysis.nullable a y then go rest
+      in
+      go p.rhs)
+    (Grammar.prods g);
+  edges
+
+let left_recursive_nts g a =
+  let n = Grammar.num_nonterminals g in
+  let edges = left_edges g a in
+  (* x is left-recursive iff x is reachable from x via >= 1 left edge. *)
+  let reaches_self x =
+    let seen = Array.make n false in
+    let rec dfs y =
+      y = x
+      || (not seen.(y))
+         && begin
+              seen.(y) <- true;
+              Int_set.exists dfs edges.(y)
+            end
+    in
+    Int_set.exists dfs edges.(x)
+  in
+  let acc = ref Int_set.empty in
+  for x = 0 to n - 1 do
+    if reaches_self x then acc := Int_set.add x !acc
+  done;
+  !acc
+
+let is_left_recursive g a x = Int_set.mem x (left_recursive_nts g a)
+
+let check g =
+  let a = Analysis.make g in
+  let bad = left_recursive_nts g a in
+  if Int_set.is_empty bad then Ok () else Error (Int_set.elements bad)

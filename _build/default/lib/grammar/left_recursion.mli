@@ -1,0 +1,19 @@
+(** Static left-recursion detection.
+
+    The paper's correctness theorems assume a non-left-recursive grammar and
+    note (§8) that the property is decidable; this module is that decision
+    procedure.  A nonterminal [x] is left-recursive iff there is a nullable
+    path from [x] back to [x]: a cycle in the graph with an edge [x -> y]
+    whenever the grammar contains [x -> alpha y beta] with [alpha] nullable. *)
+
+open Symbols
+
+(** Nonterminals that lie on a left-recursive cycle. *)
+val left_recursive_nts : Grammar.t -> Analysis.t -> Int_set.t
+
+(** [is_left_recursive g a x]: does [x] lie on a left-recursive cycle? *)
+val is_left_recursive : Grammar.t -> Analysis.t -> nonterminal -> bool
+
+(** [check g] is [Ok ()] when [g] has no left recursion, otherwise
+    [Error xs] with the offending nonterminals (in identifier order). *)
+val check : Grammar.t -> (unit, nonterminal list) result

@@ -1,0 +1,36 @@
+type t = {
+  mutable names : string array;
+  mutable n : int;
+  tbl : (string, int) Hashtbl.t;
+}
+
+let create () = { names = Array.make 16 ""; n = 0; tbl = Hashtbl.create 64 }
+
+let grow p =
+  if p.n = Array.length p.names then begin
+    let names = Array.make (2 * p.n) "" in
+    Array.blit p.names 0 names 0 p.n;
+    p.names <- names
+  end
+
+let intern p s =
+  match Hashtbl.find_opt p.tbl s with
+  | Some id -> id
+  | None ->
+    grow p;
+    let id = p.n in
+    p.names.(id) <- s;
+    p.n <- p.n + 1;
+    Hashtbl.add p.tbl s id;
+    id
+
+let find p s = Hashtbl.find_opt p.tbl s
+
+let name p id =
+  if id < 0 || id >= p.n then
+    invalid_arg (Printf.sprintf "Pool.name: id %d out of range [0,%d)" id p.n)
+  else p.names.(id)
+
+let size p = p.n
+
+let names p = List.init p.n (fun i -> p.names.(i))

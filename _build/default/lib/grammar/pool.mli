@@ -1,0 +1,28 @@
+(** String interning pools.
+
+    A pool maps strings to dense integer identifiers and back.  Grammars use
+    two pools: one for terminal names and one for nonterminal names.  Interned
+    identifiers make every comparison in the parser's hot paths an integer
+    comparison (see DESIGN.md, experiment E8, for the ablation that motivates
+    this choice). *)
+
+type t
+
+val create : unit -> t
+
+(** [intern p s] returns the identifier for [s], allocating a fresh one if [s]
+    has not been seen before.  Identifiers are dense, starting at 0. *)
+val intern : t -> string -> int
+
+(** [find p s] returns the identifier for [s] if it has been interned. *)
+val find : t -> string -> int option
+
+(** [name p id] returns the string interned as [id].
+    @raise Invalid_argument if [id] is out of range. *)
+val name : t -> int -> string
+
+(** Number of interned strings. *)
+val size : t -> int
+
+(** All interned names, in identifier order. *)
+val names : t -> string list

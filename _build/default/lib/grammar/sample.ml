@@ -1,0 +1,38 @@
+open Symbols
+
+let sentence ?(max_len = 64) ?(fuel = 200) g rand =
+  let fuel = ref fuel in
+  let nt_weight ix =
+    List.length
+      (List.filter
+         (function NT _ -> true | T _ -> false)
+         (Grammar.prod g ix).Grammar.rhs)
+  in
+  let rec go acc len syms =
+    if len > max_len then None
+    else
+      match syms with
+      | [] -> Some (List.rev acc)
+      | T a :: rest -> go (Grammar.terminal_name g a :: acc) (len + 1) rest
+      | NT x :: rest -> (
+        decr fuel;
+        if !fuel <= 0 then None
+        else
+          match Grammar.prods_of g x with
+          | [] -> None
+          | prods ->
+            let pick =
+              if !fuel < 40 then
+                (* Low fuel: steer towards the alternative with the fewest
+                   nonterminals, to converge. *)
+                List.fold_left
+                  (fun best ix -> if nt_weight ix < nt_weight best then ix else best)
+                  (List.hd prods) prods
+              else List.nth prods (Random.State.int rand (List.length prods))
+            in
+            go acc len ((Grammar.prod g pick).Grammar.rhs @ rest))
+  in
+  go [] 0 [ NT (Grammar.start g) ]
+
+let tokens ?max_len ?fuel g rand =
+  Option.map (Grammar.tokens g) (sentence ?max_len ?fuel g rand)

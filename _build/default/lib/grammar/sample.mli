@@ -1,0 +1,27 @@
+(** Random sentence sampling from a grammar.
+
+    Used by the test suite's completeness properties, the [costar gen] CLI
+    command, and grammar fuzzing: words drawn from the grammar exercise the
+    parser's accepting paths, which uniformly random words almost never
+    reach. *)
+
+(** [sentence ?max_len ?fuel g rand] draws a word of the grammar's start
+    symbol by random leftmost expansion, as terminal names.  Expansion uses
+    [fuel] (default 200) nonterminal expansions before steering towards
+    low-nonterminal alternatives; [None] when fuel or [max_len] (default 64)
+    is exceeded, or when a non-productive nonterminal blocks expansion. *)
+val sentence :
+  ?max_len:int ->
+  ?fuel:int ->
+  Grammar.t ->
+  Random.State.t ->
+  string list option
+
+(** Like {!sentence} but returns tokens (each lexeme is its terminal
+    name). *)
+val tokens :
+  ?max_len:int ->
+  ?fuel:int ->
+  Grammar.t ->
+  Random.State.t ->
+  Token.t list option

@@ -1,0 +1,48 @@
+(** Grammar symbols.
+
+    Terminals and nonterminals are interned integers (see {!Pool}); a symbol
+    is a tagged union of the two.  This module also provides the fast
+    comparison and set/map instances used throughout the parser. *)
+
+type terminal = int
+type nonterminal = int
+
+type symbol =
+  | T of terminal
+  | NT of nonterminal
+
+let compare_terminal (a : terminal) (b : terminal) = Int.compare a b
+let compare_nonterminal (a : nonterminal) (b : nonterminal) = Int.compare a b
+
+let compare_symbol s1 s2 =
+  match s1, s2 with
+  | T a, T b -> Int.compare a b
+  | NT x, NT y -> Int.compare x y
+  | T _, NT _ -> -1
+  | NT _, T _ -> 1
+
+let equal_symbol s1 s2 = compare_symbol s1 s2 = 0
+
+let rec compare_symbols l1 l2 =
+  match l1, l2 with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | s1 :: r1, s2 :: r2 ->
+    let c = compare_symbol s1 s2 in
+    if c <> 0 then c else compare_symbols r1 r2
+
+let is_terminal = function T _ -> true | NT _ -> false
+let is_nonterminal = function T _ -> false | NT _ -> true
+
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+
+module Sym_ord = struct
+  type t = symbol
+
+  let compare = compare_symbol
+end
+
+module Sym_set = Set.Make (Sym_ord)
+module Sym_map = Map.Make (Sym_ord)

@@ -1,0 +1,28 @@
+(** Tokens.
+
+    A token pairs a terminal symbol with the literal text it was lexed from
+    (paper, Fig. 1: [t ::= (a, l)]), plus a source position for error
+    reporting.  The parser only inspects the [term] field; literals are
+    carried into parse-tree leaves. *)
+
+type t = {
+  term : Symbols.terminal;
+  lexeme : string;
+  line : int;  (** 1-based line of the first character, 0 if unknown. *)
+  col : int;  (** 0-based column of the first character. *)
+}
+
+let make ?(line = 0) ?(col = 0) term lexeme = { term; lexeme; line; col }
+
+let term t = t.term
+let lexeme t = t.lexeme
+
+let equal t1 t2 = t1.term = t2.term && String.equal t1.lexeme t2.lexeme
+
+let pp ?pool ppf t =
+  let name =
+    match pool with
+    | Some p -> Pool.name p t.term
+    | None -> string_of_int t.term
+  in
+  Fmt.pf ppf "(%s, %S)" name t.lexeme

@@ -1,0 +1,251 @@
+open Symbols
+
+(* The transformations work on a name-based representation, since they
+   synthesize fresh nonterminals; the result is rebuilt with
+   [Grammar.define]. *)
+
+type rules = (string * Grammar.elt list list) list
+
+let to_rules g : rules =
+  let elt = function
+    | T a -> Grammar.Tm (Grammar.terminal_name g a)
+    | NT x -> Grammar.Ntm (Grammar.nonterminal_name g x)
+  in
+  let names = List.init (Grammar.num_nonterminals g) (Grammar.nonterminal_name g) in
+  List.map
+    (fun name ->
+      let x =
+        match Grammar.nonterminal_of_name g name with
+        | Some x -> x
+        | None -> assert false
+      in
+      (name, List.map (List.map elt) (Grammar.rhss_of g x)))
+    names
+
+(* Rebuild with the source grammar's full terminal alphabet: a transformed
+   grammar denotes a language over the same terminals even when some no
+   longer occur in any production. *)
+let of_rules ~like ~start (rules : rules) =
+  let extra_terminals =
+    List.init (Grammar.num_terminals like) (Grammar.terminal_name like)
+  in
+  Grammar.define ~extra_terminals ~start rules
+
+let start_name g = Grammar.nonterminal_name g (Grammar.start g)
+
+(* --- Left-recursion elimination (Paull's algorithm) --------------------- *)
+
+let eliminate_left_recursion g =
+  let rules = Array.of_list (to_rules g) in
+  let n = Array.length rules in
+  let fresh_rules = ref [] in
+  (* Remove immediate left recursion on the rule at index [i]. *)
+  let remove_immediate i =
+    let name, alts = rules.(i) in
+    let recs, nonrecs =
+      List.partition
+        (fun alt ->
+          match alt with Grammar.Ntm x :: _ -> x = name | _ -> false)
+        alts
+    in
+    (* X -> X alone is a unit cycle: it never contributes a finite
+       derivation, so dropping it preserves the language. *)
+    let recs =
+      List.filter_map
+        (fun alt ->
+          match alt with
+          | Grammar.Ntm _ :: [] -> None
+          | Grammar.Ntm _ :: gamma -> Some gamma
+          | _ -> assert false)
+        recs
+    in
+    if recs <> [] then begin
+      let tail = name ^ "__lr" in
+      let base = List.map (fun beta -> beta @ [ Grammar.Ntm tail ]) nonrecs in
+      rules.(i) <- (name, base);
+      fresh_rules :=
+        (tail, [] :: List.map (fun gamma -> gamma @ [ Grammar.Ntm tail ]) recs)
+        :: !fresh_rules
+    end
+    else
+      (* Every recursive alternative was a dropped X -> X self-loop: keep
+         only the non-recursive alternatives. *)
+      rules.(i) <- (name, nonrecs)
+  in
+  (* Guard against pathological blow-up: with epsilon productions among
+     the lower-ordered nonterminals, Paull's substitution can oscillate or
+     grow exponentially; cap the work and report instead of diverging. *)
+  let budget = ref (1000 * (n + 1)) in
+  let explode () =
+    invalid_arg
+      "Transform.eliminate_left_recursion: substitution exploded (epsilon \
+       productions feeding the left-recursive cycle); refactor by hand"
+  in
+  for i = 0 to n - 1 do
+    (* Substitute away leading references to earlier nonterminals. *)
+    let changed = ref true in
+    while !changed do
+      decr budget;
+      if !budget <= 0 then explode ();
+      changed := false;
+      let name, alts = rules.(i) in
+      let alts' =
+        List.concat_map
+          (fun alt ->
+            match alt with
+            | Grammar.Ntm y :: gamma when y <> name ->
+              let j = ref (-1) in
+              Array.iteri (fun k (n', _) -> if n' = y then j := k) rules;
+              if !j >= 0 && !j < i then begin
+                changed := true;
+                List.map (fun delta -> delta @ gamma) (snd rules.(!j))
+              end
+              else [ alt ]
+            | _ -> [ alt ])
+          alts
+      in
+      let alts' = List.sort_uniq Stdlib.compare alts' in
+      if List.length alts' > 2000 then explode ();
+      rules.(i) <- (name, alts')
+    done;
+    remove_immediate i
+  done;
+  let g' =
+    of_rules ~like:g ~start:(start_name g) (Array.to_list rules @ List.rev !fresh_rules)
+  in
+  match Left_recursion.check g' with
+  | Ok () -> g'
+  | Error _ ->
+    (* Left recursion hidden behind nullable symbols survives Paull's
+       algorithm; the caller must refactor by hand. *)
+    invalid_arg
+      "Transform.eliminate_left_recursion: grammar has hidden left recursion \
+       (left-recursive cycle through nullable symbols)"
+
+(* --- Left factoring ------------------------------------------------------ *)
+
+let common_prefix a b =
+  let rec go acc a b =
+    match a, b with
+    | x :: a', y :: b' when x = y -> go (x :: acc) a' b'
+    | _ -> List.rev acc
+  in
+  go [] a b
+
+let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l)
+
+let left_factor g =
+  let counter = Hashtbl.create 16 in
+  let fresh base =
+    let k = Option.value ~default:0 (Hashtbl.find_opt counter base) + 1 in
+    Hashtbl.replace counter base k;
+    Printf.sprintf "%s__lf%d" base k
+  in
+  (* One factoring pass over a single rule: factor the first group of
+     alternatives sharing their longest common prefix. *)
+  let factor_rule (name, alts) =
+    let rec find_group = function
+      | [] -> None
+      | alt :: rest -> (
+        if alt = [] then find_group rest
+        else
+          let sharing =
+            List.filter
+              (fun alt' -> alt' <> [] && List.hd alt' = List.hd alt)
+              rest
+          in
+          match sharing with
+          | [] -> find_group rest
+          | _ ->
+            let group = alt :: sharing in
+            let prefix =
+              List.fold_left common_prefix (List.hd group) (List.tl group)
+            in
+            Some (prefix, group))
+    in
+    match find_group alts with
+    | None -> None
+    | Some (prefix, group) ->
+      let tail_name = fresh name in
+      let k = List.length prefix in
+      let suffixes = List.map (fun alt -> drop k alt) group in
+      let alts' =
+        (* Keep alternative order: the factored alternative takes the
+           position of the first group member. *)
+        List.filter_map
+          (fun alt ->
+            if List.memq alt group then
+              if alt == List.hd group then
+                Some (prefix @ [ Grammar.Ntm tail_name ])
+              else None
+            else Some alt)
+          alts
+      in
+      Some ((name, alts'), (tail_name, suffixes))
+  in
+  let rec saturate acc = function
+    | [] -> List.rev acc
+    | rule :: rest -> (
+      match factor_rule rule with
+      | None -> saturate (rule :: acc) rest
+      | Some (rule', fresh_rule) -> saturate acc (rule' :: rest @ [ fresh_rule ]))
+  in
+  of_rules ~like:g ~start:(start_name g) (saturate [] (to_rules g))
+
+(* --- Useless-symbol removal ---------------------------------------------- *)
+
+let remove_useless g =
+  let anl = Analysis.make g in
+  if not (Analysis.productive anl (Grammar.start g)) then
+    invalid_arg "Transform.remove_useless: the start symbol derives no word";
+  (* Pass 1: drop non-productive nonterminals and productions using them. *)
+  let productive_sym = function
+    | T _ -> true
+    | NT x -> Analysis.productive anl x
+  in
+  let rules1 =
+    List.filter_map
+      (fun name ->
+        match Grammar.nonterminal_of_name g name with
+        | None -> None
+        | Some x ->
+          if not (Analysis.productive anl x) then None
+          else
+            Some
+              ( name,
+                x,
+                List.filter (List.for_all productive_sym) (Grammar.rhss_of g x)
+              ))
+      (List.init (Grammar.num_nonterminals g) (Grammar.nonterminal_name g))
+  in
+  (* Pass 2: keep only nonterminals reachable through surviving
+     productions. *)
+  let by_name = List.map (fun (name, _, rhss) -> (name, rhss)) rules1 in
+  let reachable = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem reachable name) then begin
+      Hashtbl.add reachable name ();
+      match List.assoc_opt name by_name with
+      | None -> ()
+      | Some rhss ->
+        List.iter
+          (List.iter (function
+            | T _ -> ()
+            | NT y -> visit (Grammar.nonterminal_name g y)))
+          rhss
+    end
+  in
+  visit (start_name g);
+  let elt = function
+    | T a -> Grammar.Tm (Grammar.terminal_name g a)
+    | NT x -> Grammar.Ntm (Grammar.nonterminal_name g x)
+  in
+  let rules =
+    List.filter_map
+      (fun (name, _, rhss) ->
+        if Hashtbl.mem reachable name then
+          Some (name, List.map (List.map elt) rhss)
+        else None)
+      rules1
+  in
+  of_rules ~like:g ~start:(start_name g) rules

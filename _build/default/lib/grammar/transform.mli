@@ -1,0 +1,39 @@
+(** Grammar transformations.
+
+    The paper's correctness theorems require a non-left-recursive grammar
+    and note (§4.1) that ANTLR sidesteps most left recursion by rewriting
+    the grammar; verifying such rewrites is listed as future work (§8).
+    This module implements the classical rewrites so that CoStar-ml can be
+    applied to grammars written with left recursion:
+
+    - {!eliminate_left_recursion}: Paull's algorithm (ordering nonterminals,
+      substituting lower-ordered ones at the left edge, then removing
+      immediate left recursion with fresh tail nonterminals);
+    - {!left_factor}: repeatedly factors the longest common prefix of any
+      two alternatives into a fresh nonterminal — useful to reduce
+      prediction lookahead;
+    - {!remove_useless}: drops non-productive and unreachable nonterminals.
+
+    The transformations preserve the generated language (property-tested
+    against the Earley oracle), but not parse trees: trees over the
+    transformed grammar mention synthesized nonterminals. *)
+
+(** Eliminate direct and indirect left recursion.  Fresh tail nonterminals
+    are named [<nt>__lr].  Grammars with [X -> X] self-loops simply drop the
+    cyclic production (it never changes the language).
+
+    @raise Invalid_argument when the grammar has hidden left recursion (a
+    left-recursive cycle through nullable symbols), which Paull's algorithm
+    does not handle, or when epsilon productions among the substituted
+    nonterminals make the substitution phase explode. *)
+val eliminate_left_recursion : Grammar.t -> Grammar.t
+
+(** Left-factor common prefixes of alternatives.  Fresh nonterminals are
+    named [<nt>__lf<k>]. *)
+val left_factor : Grammar.t -> Grammar.t
+
+(** Remove unreachable and non-productive nonterminals (and productions
+    mentioning them).  The start symbol is always kept.
+    @raise Invalid_argument if the start symbol itself is non-productive
+    (the language would be empty). *)
+val remove_useless : Grammar.t -> Grammar.t

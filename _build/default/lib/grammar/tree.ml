@@ -1,0 +1,104 @@
+open Symbols
+
+type t =
+  | Leaf of Token.t
+  | Node of nonterminal * t list
+
+type forest = t list
+
+let root = function
+  | Leaf tok -> T tok.Token.term
+  | Node (x, _) -> NT x
+
+let yield v =
+  (* Accumulator-based to stay tail-ish on deep trees. *)
+  let rec go acc = function
+    | Leaf tok -> tok :: acc
+    | Node (_, kids) -> List.fold_left go acc kids
+  in
+  List.rev (go [] v)
+
+let yield_forest f = List.concat_map yield f
+
+let rec size = function
+  | Leaf _ -> 1
+  | Node (_, kids) -> 1 + List.fold_left (fun acc k -> acc + size k) 0 kids
+
+let rec depth = function
+  | Leaf _ -> 1
+  | Node (_, kids) ->
+    1 + List.fold_left (fun acc k -> max acc (depth k)) 0 kids
+
+let rec width = function
+  | Leaf _ -> 1
+  | Node (_, kids) -> List.fold_left (fun acc k -> acc + width k) 0 kids
+
+let rec compare v1 v2 =
+  match v1, v2 with
+  | Leaf t1, Leaf t2 ->
+    let c = Int.compare t1.Token.term t2.Token.term in
+    if c <> 0 then c else String.compare t1.Token.lexeme t2.Token.lexeme
+  | Leaf _, Node _ -> -1
+  | Node _, Leaf _ -> 1
+  | Node (x1, k1), Node (x2, k2) ->
+    let c = Int.compare x1 x2 in
+    if c <> 0 then c else compare_forest k1 k2
+
+and compare_forest f1 f2 =
+  match f1, f2 with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | v1 :: r1, v2 :: r2 ->
+    let c = compare v1 v2 in
+    if c <> 0 then c else compare_forest r1 r2
+
+let equal v1 v2 = compare v1 v2 = 0
+
+let nonterminals v =
+  let rec go acc = function
+    | Leaf _ -> acc
+    | Node (x, kids) -> List.fold_left go (Int_set.add x acc) kids
+  in
+  go Int_set.empty v
+
+let rec pp g ppf = function
+  | Leaf tok -> Fmt.pf ppf "'%s'" tok.Token.lexeme
+  | Node (x, kids) ->
+    Fmt.pf ppf "@[<hov 1>(%s%a)@]"
+      (Grammar.nonterminal_name g x)
+      Fmt.(list ~sep:nop (fun ppf k -> Fmt.pf ppf "@ %a" (pp g) k))
+      kids
+
+let to_string g v = Fmt.str "%a" (pp g) v
+
+let to_dot g v =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph parse_tree {\n  node [shape=box];\n";
+  let ctr = ref 0 in
+  let fresh () =
+    incr ctr;
+    !ctr
+  in
+  let escape s = String.concat "\\\"" (String.split_on_char '"' s) in
+  let rec go v =
+    let id = fresh () in
+    (match v with
+    | Leaf tok ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=ellipse];\n" id
+           (escape tok.Token.lexeme))
+    | Node (x, kids) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" id
+           (escape (Grammar.nonterminal_name g x)));
+      List.iter
+        (fun k ->
+          let kid = go k in
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" id kid))
+        kids);
+    id
+  in
+  ignore (go v);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Parse trees and forests (paper, Fig. 1).
+
+    [Leaf t] holds a consumed token; [Node (x, kids)] holds a nonterminal and
+    the subtrees for the symbols of one of its right-hand sides. *)
+
+open Symbols
+
+type t =
+  | Leaf of Token.t
+  | Node of nonterminal * t list
+
+type forest = t list
+
+(** Root symbol of a tree: the token's terminal for a leaf, the nonterminal
+    for a node. *)
+val root : t -> symbol
+
+(** Frontier of the tree, left to right: the consumed tokens. *)
+val yield : t -> Token.t list
+
+val yield_forest : forest -> Token.t list
+
+(** Number of nodes and leaves. *)
+val size : t -> int
+
+val depth : t -> int
+
+(** Number of tokens in the frontier. *)
+val width : t -> int
+
+(** Structural equality: nodes by nonterminal, leaves by terminal and
+    lexeme. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** Collect every nonterminal labelling a node. *)
+val nonterminals : t -> Int_set.t
+
+(** [pp g] renders a tree with symbol names resolved against [g], in
+    s-expression style: [(S (A 'a' 'b') 'd')]. *)
+val pp : Grammar.t -> Format.formatter -> t -> unit
+
+val to_string : Grammar.t -> t -> string
+
+(** GraphViz DOT rendering of a parse tree (one node per tree node). *)
+val to_dot : Grammar.t -> t -> string

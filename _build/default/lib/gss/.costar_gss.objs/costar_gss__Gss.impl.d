@@ -1,0 +1,1 @@
+lib/gss/gss.ml: Analysis Array Costar_core Costar_grammar Grammar Hashtbl Int Int_set List Option Token

@@ -1,0 +1,1 @@
+lib/gss/gss.mli: Costar_core Costar_grammar Grammar Token

@@ -1,0 +1,38 @@
+(** SLL prediction over a graph-structured stack (GSS).
+
+    Original ALL(star) represents subparsers that share stack structure with
+    a GSS (Scott & Johnstone 2010); the paper's CoStar deliberately does
+    not, noting only that the tool "may be less space-efficient than ANTLR
+    in practice" (§3.5).  This module supplies the missing representation as
+    an alternative prediction engine and quantifies the difference
+    (experiment E11 in the benchmark harness):
+
+    - simulated stacks are hash-consed DAG nodes, so configurations that
+      diverge and re-converge share structure physically;
+    - stable configurations with the same prediction and current frame are
+      {e merged} (their parent sets union), so a decision that scans a long
+      common region carries one configuration per alternative instead of
+      one per calling context.
+
+    Verdicts are identical to {!Costar_core.Sll} — differentially tested on
+    random grammars and on the benchmark corpora.  The engine is
+    self-contained and does not change the verified-style core. *)
+
+open Costar_grammar
+open Costar_grammar.Symbols
+
+(** A prediction instance for one grammar: owns the hash-consing tables and
+    the DFA cache (mutable, reusable across inputs). *)
+type t
+
+val create : Grammar.t -> t
+
+(** Same contract as [Costar_core.Sll.predict]: SLL verdict for decision
+    nonterminal [x] against the remaining tokens. *)
+val predict : t -> nonterminal -> Token.t list -> Costar_core.Types.prediction
+
+(** Statistics for the ablation: (interned stack nodes, interned DFA
+    states, peak configurations in any one DFA state). *)
+val stats : t -> int * int * int
+
+val reset : t -> unit

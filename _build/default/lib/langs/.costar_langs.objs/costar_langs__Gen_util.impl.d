@@ -1,0 +1,1 @@
+lib/langs/gen_util.ml: Array Buffer Char Printf Random String

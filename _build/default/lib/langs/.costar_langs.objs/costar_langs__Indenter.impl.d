@@ -1,0 +1,1 @@
+lib/langs/indenter.ml: Costar_lex List Printf Scanner

@@ -1,0 +1,1 @@
+lib/langs/indenter.mli: Costar_lex

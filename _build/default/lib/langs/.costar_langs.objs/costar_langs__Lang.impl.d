@@ -1,0 +1,1 @@
+lib/langs/lang.ml: Costar_grammar Grammar Lazy Printf Token

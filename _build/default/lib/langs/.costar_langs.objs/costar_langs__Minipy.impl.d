@@ -1,0 +1,1 @@
+lib/langs/minipy.ml: Costar_ebnf Costar_grammar Costar_lex Fmt Gen_util Indenter Lang Lazy List Printf Regex Scanner String

@@ -1,0 +1,1 @@
+lib/langs/registry.ml: Dot Json Lang List Minipy Xml

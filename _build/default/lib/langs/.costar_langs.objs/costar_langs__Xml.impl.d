@@ -1,0 +1,1 @@
+lib/langs/xml.ml: Costar_ebnf Costar_lex Fmt Gen_util Lang Lazy Regex Scanner

@@ -1,0 +1,51 @@
+(** Helpers for the deterministic synthetic-corpus generators.
+
+    Every generator is driven by a [Random.State.t] seeded explicitly, so a
+    given (seed, size) pair always produces the same file — benchmarks are
+    reproducible run to run. *)
+
+type t = {
+  rand : Random.State.t;
+  buf : Buffer.t;
+  mutable budget : int;  (** rough remaining size, decremented by emission *)
+}
+
+let create ~seed ~size =
+  { rand = Random.State.make [| seed |]; buf = Buffer.create (size * 8); budget = size }
+
+let spend st n = st.budget <- st.budget - n
+let exhausted st = st.budget <= 0
+
+let int st n = Random.State.int st.rand n
+let pick st arr = arr.(Random.State.int st.rand (Array.length arr))
+let chance st p = Random.State.float st.rand 1.0 < p
+
+let add st s =
+  Buffer.add_string st.buf s;
+  spend st 1
+
+let addf st fmt = Printf.ksprintf (add st) fmt
+
+let contents st = Buffer.contents st.buf
+
+(** A random lowercase identifier of length 3-10. *)
+let ident st =
+  let len = 3 + int st 8 in
+  String.init len (fun i ->
+      if i = 0 then Char.chr (Char.code 'a' + int st 26)
+      else
+        let k = int st 36 in
+        if k < 26 then Char.chr (Char.code 'a' + k)
+        else Char.chr (Char.code '0' + k - 26))
+
+(** A random word made of letters only. *)
+let word st =
+  let len = 2 + int st 8 in
+  String.init len (fun _ -> Char.chr (Char.code 'a' + int st 26))
+
+let number st =
+  match int st 4 with
+  | 0 -> string_of_int (int st 1000)
+  | 1 -> Printf.sprintf "%d.%d" (int st 100) (int st 1000)
+  | 2 -> Printf.sprintf "-%d" (int st 500)
+  | _ -> Printf.sprintf "%d.%de%d" (int st 10) (int st 100) (int st 10)

@@ -1,0 +1,69 @@
+open Costar_lex
+
+let openers = [ "("; "["; "{" ]
+let closers = [ ")"; "]"; "}" ]
+
+let synth kind line col = { Scanner.kind; lexeme = ""; line; col }
+
+let run raws =
+  let out = ref [] in
+  let emit r = out := r :: !out in
+  let indents = ref [ 0 ] in
+  let depth = ref 0 in
+  let line_has_content = ref false in
+  let at_line_start = ref true in
+  let error = ref None in
+  let handle_line_start (tok : Scanner.raw) =
+    let col = tok.Scanner.col in
+    (match !indents with
+    | top :: _ when col > top ->
+      indents := col :: !indents;
+      emit (synth "INDENT" tok.line 0)
+    | _ ->
+      let rec dedent () =
+        match !indents with
+        | top :: rest when col < top ->
+          indents := rest;
+          emit (synth "DEDENT" tok.line 0);
+          dedent ()
+        | top :: _ ->
+          if col <> top then
+            error :=
+              Some
+                (Printf.sprintf
+                   "line %d: unindent does not match any outer level" tok.line)
+        | [] -> assert false
+      in
+      dedent ());
+    at_line_start := false
+  in
+  List.iter
+    (fun (tok : Scanner.raw) ->
+      if !error = None then
+        if tok.Scanner.kind = "NEWLINE" then begin
+          if !depth = 0 && !line_has_content then begin
+            emit { tok with lexeme = "" };
+            line_has_content := false;
+            at_line_start := true
+          end
+          (* Blank line or implicit join: drop the newline. *)
+        end
+        else begin
+          if !at_line_start && !depth = 0 then handle_line_start tok;
+          if List.mem tok.kind openers then incr depth
+          else if List.mem tok.kind closers then depth := max 0 (!depth - 1);
+          line_has_content := true;
+          emit tok
+        end)
+    raws;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    let last_line =
+      match !out with [] -> 1 | r :: _ -> r.Scanner.line + 1
+    in
+    if !line_has_content then emit (synth "NEWLINE" last_line 0);
+    List.iter
+      (fun level -> if level > 0 then emit (synth "DEDENT" last_line 0))
+      !indents;
+    Ok (List.rev !out)

@@ -1,0 +1,21 @@
+(** Python-style indentation pre-pass.
+
+    Turns a flat scanner token stream into a logical-line stream with
+    synthesized [INDENT] and [DEDENT] tokens, implementing the interesting
+    parts of Python's tokenizer algorithm:
+
+    - newlines inside parentheses/brackets/braces are implicit line joins
+      and are dropped;
+    - blank lines (and comment-only lines, whose comments the scanner has
+      already skipped) produce no NEWLINE;
+    - at the start of each logical line, a column increase pushes the indent
+      stack and emits [INDENT]; a decrease pops and emits one [DEDENT] per
+      level, and must land exactly on an enclosing level;
+    - end of input closes any open logical line and emits the remaining
+      [DEDENT]s. *)
+
+(** [run raws] consumes the raw scanner tokens (which must include one raw
+    per physical newline, kind ["NEWLINE"]) and yields the logical stream.
+    Fails with a message on inconsistent dedents. *)
+val run :
+  Costar_lex.Scanner.raw list -> (Costar_lex.Scanner.raw list, string) result

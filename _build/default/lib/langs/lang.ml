@@ -1,0 +1,28 @@
+(** Common interface for the benchmark languages (paper, §6.1).
+
+    Each language packages a desugared BNF grammar, a DFA scanner, a
+    tokenizer (scanner plus any post-passes, e.g. Python's indenter), and a
+    deterministic synthetic-corpus generator standing in for the paper's
+    data sets (see DESIGN.md, substitutions table). *)
+
+open Costar_grammar
+
+type t = {
+  name : string;
+  grammar : Grammar.t Lazy.t;
+  tokenize : string -> (Token.t list, string) result;
+  generate : seed:int -> size:int -> string;
+      (** [generate ~seed ~size] produces a source file; [size] roughly
+          scales the number of syntactic items. *)
+}
+
+let grammar l = Lazy.force l.grammar
+let tokenize l = l.tokenize
+let generate l = l.generate
+
+(** Tokenize, failing loudly — for tests and examples where the input is
+    known to be lexable. *)
+let tokenize_exn l input =
+  match l.tokenize input with
+  | Ok toks -> toks
+  | Error msg -> invalid_arg (Printf.sprintf "%s lexer: %s" l.name msg)

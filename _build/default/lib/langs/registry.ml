@@ -1,0 +1,7 @@
+(** The benchmark languages, in the paper's Fig. 8 order. *)
+
+let all : Lang.t list = [ Json.lang; Xml.lang; Dot.lang; Minipy.lang ]
+
+let find name = List.find_opt (fun l -> l.Lang.name = name) all
+
+let names = List.map (fun l -> l.Lang.name) all

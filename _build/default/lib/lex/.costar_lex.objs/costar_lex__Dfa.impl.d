@@ -1,0 +1,1 @@
+lib/lex/dfa.ml: Array Char List Map Nfa Stdlib

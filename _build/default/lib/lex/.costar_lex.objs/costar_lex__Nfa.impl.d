@@ -1,0 +1,1 @@
+lib/lex/nfa.ml: Array List Regex

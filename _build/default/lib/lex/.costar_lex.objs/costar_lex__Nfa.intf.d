@@ -1,0 +1,1 @@
+lib/lex/nfa.mli: Regex

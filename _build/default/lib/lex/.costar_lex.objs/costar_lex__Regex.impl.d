@@ -1,0 +1,1 @@
+lib/lex/regex.ml: Char List String

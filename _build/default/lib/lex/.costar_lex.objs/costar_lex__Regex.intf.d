@@ -1,0 +1,1 @@
+lib/lex/regex.mli:

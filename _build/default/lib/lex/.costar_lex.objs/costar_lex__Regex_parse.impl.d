@@ -1,0 +1,1 @@
+lib/lex/regex_parse.ml: Array Buffer Char List Printf Regex String

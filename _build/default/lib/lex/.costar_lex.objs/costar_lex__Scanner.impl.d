@@ -1,0 +1,1 @@
+lib/lex/scanner.ml: Array Costar_grammar Dfa Fmt List Nfa Printf Regex String

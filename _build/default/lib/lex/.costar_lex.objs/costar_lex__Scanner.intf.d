@@ -1,0 +1,1 @@
+lib/lex/scanner.mli: Costar_grammar Format Regex

@@ -1,0 +1,1 @@
+lib/lex/spec.ml: Buffer List Printf Regex_parse Scanner String

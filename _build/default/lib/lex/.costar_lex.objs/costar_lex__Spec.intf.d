@@ -1,0 +1,1 @@
+lib/lex/spec.mli: Scanner

@@ -1,0 +1,60 @@
+type state = int
+
+type t = {
+  start : state;
+  trans : int array array;  (** state -> 256-entry successor array, -1 dead *)
+  accepts : int option array;
+}
+
+let start d = d.start
+let num_states d = Array.length d.trans
+let next d s c = d.trans.(s).(Char.code c)
+let accept d s = d.accepts.(s)
+
+module Key = struct
+  type t = int list
+
+  let compare = Stdlib.compare
+end
+
+module Key_map = Map.Make (Key)
+
+let of_nfa nfa =
+  let ids = ref Key_map.empty in
+  let trans_acc = ref [] in
+  let accepts_acc = ref [] in
+  let next_id = ref 0 in
+  let rec intern states =
+    match Key_map.find_opt states !ids with
+    | Some id -> id
+    | None ->
+      let id = !next_id in
+      incr next_id;
+      ids := Key_map.add states id !ids;
+      let accept =
+        List.fold_left
+          (fun acc s ->
+            match Nfa.accept_rule nfa s, acc with
+            | Some ix, Some ix' -> Some (min ix ix')
+            | Some ix, None -> Some ix
+            | None, acc -> acc)
+          None states
+      in
+      accepts_acc := (id, accept) :: !accepts_acc;
+      let row = Array.make 256 (-1) in
+      (* Reserve the row slot now so recursion sees a stable order. *)
+      trans_acc := (id, row) :: !trans_acc;
+      for c = 0 to 255 do
+        match Nfa.eps_closure nfa (Nfa.step nfa states (Char.chr c)) with
+        | [] -> ()
+        | states' -> row.(c) <- intern states'
+      done;
+      id
+  in
+  let start = intern (Nfa.eps_closure nfa [ Nfa.start nfa ]) in
+  let n = !next_id in
+  let trans = Array.make n [||] in
+  List.iter (fun (id, row) -> trans.(id) <- row) !trans_acc;
+  let accepts = Array.make n None in
+  List.iter (fun (id, a) -> accepts.(id) <- a) !accepts_acc;
+  { start; trans; accepts }

@@ -1,0 +1,20 @@
+(** Subset construction: NFA to DFA with dense byte-indexed transitions.
+
+    Accepting DFA states carry the lowest accepting rule index of their NFA
+    state set, implementing first-rule-wins tie-breaking for equal-length
+    matches. *)
+
+type t
+
+type state = int
+
+val start : t -> state
+val num_states : t -> int
+
+val of_nfa : Nfa.t -> t
+
+(** [next dfa s c] is the successor state, or [-1] if the DFA dies. *)
+val next : t -> state -> char -> state
+
+(** Accepting rule index of a state, if accepting. *)
+val accept : t -> state -> int option

@@ -1,0 +1,26 @@
+(** Thompson construction: regexes to nondeterministic finite automata.
+
+    A combined NFA is built from a list of tagged regexes (one per scanner
+    rule); each accepting state remembers the index of the rule it belongs
+    to, so the DFA can implement rule-priority tie-breaking. *)
+
+type t
+
+type state = int
+
+val num_states : t -> int
+val start : t -> state
+
+(** [build rules] wires one Thompson fragment per regex, all reachable from
+    a shared start state via epsilon.  Rule indices are positions in the
+    input list. *)
+val build : Regex.t list -> t
+
+(** Epsilon closure of a set of states, as a sorted list. *)
+val eps_closure : t -> state list -> state list
+
+(** States reachable from [states] by consuming byte [c] (not closed). *)
+val step : t -> state list -> char -> state list
+
+(** [accept_rule nfa s] is the rule index accepted at state [s], if any. *)
+val accept_rule : t -> state -> int option

@@ -1,0 +1,67 @@
+type node =
+  | Eps
+  | Ranges of (char * char) list
+  | Seq2 of t * t
+  | Alt2 of t * t
+  | Star of t
+
+and t = node
+
+let view t = t
+
+let eps = Eps
+let chr c = Ranges [ (c, c) ]
+let range lo hi =
+  if lo > hi then invalid_arg "Regex.range: lo > hi" else Ranges [ (lo, hi) ]
+
+let set s =
+  if s = "" then invalid_arg "Regex.set: empty set"
+  else Ranges (List.init (String.length s) (fun i -> (s.[i], s.[i])))
+
+let none_of s =
+  (* Complement of the byte set: compute the gaps between sorted members. *)
+  let members = List.sort_uniq Char.compare (List.init (String.length s) (String.get s)) in
+  let rec gaps lo = function
+    | [] -> if lo <= 255 then [ (Char.chr lo, Char.chr 255) ] else []
+    | c :: rest ->
+      let code = Char.code c in
+      let before = if lo <= code - 1 then [ (Char.chr lo, Char.chr (code - 1)) ] else [] in
+      before @ gaps (code + 1) rest
+  in
+  match gaps 0 members with
+  | [] -> invalid_arg "Regex.none_of: excludes every byte"
+  | ranges -> Ranges ranges
+
+let any = Ranges [ ('\000', '\255') ]
+
+let seq2 r1 r2 =
+  match r1, r2 with
+  | Eps, r | r, Eps -> r
+  | _ -> Seq2 (r1, r2)
+
+let seq rs = List.fold_right seq2 rs Eps
+
+let alt = function
+  | [] -> invalid_arg "Regex.alt: empty alternation"
+  | r :: rest -> List.fold_left (fun acc r' -> Alt2 (acc, r')) r rest
+
+let star r = Star r
+let plus r = seq2 r (Star r)
+let opt r = Alt2 (r, Eps)
+
+let str s =
+  if s = "" then Eps
+  else seq (List.init (String.length s) (fun i -> chr s.[i]))
+
+let digit = range '0' '9'
+let lower = range 'a' 'z'
+let upper = range 'A' 'Z'
+let letter = Ranges [ ('a', 'z'); ('A', 'Z') ]
+let word_char = Ranges [ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ]
+
+let rec nullable = function
+  | Eps -> true
+  | Ranges _ -> false
+  | Seq2 (r1, r2) -> nullable r1 && nullable r2
+  | Alt2 (r1, r2) -> nullable r1 || nullable r2
+  | Star _ -> true

@@ -1,0 +1,58 @@
+(** Regular expressions over bytes, built with combinators.
+
+    This is the surface language of the lexer engine (DESIGN.md system #12),
+    the substrate standing in for the paper's ANTLR lexers. *)
+
+type t
+
+(** {1 Constructors} *)
+
+val eps : t
+val chr : char -> t
+
+(** [str "abc"] matches exactly that string. *)
+val str : string -> t
+
+(** Inclusive character range. *)
+val range : char -> char -> t
+
+(** Any of the characters in the string. *)
+val set : string -> t
+
+(** Any byte except those in the string. *)
+val none_of : string -> t
+
+(** Any byte. *)
+val any : t
+
+val seq : t list -> t
+val alt : t list -> t
+val star : t -> t
+val plus : t -> t
+val opt : t -> t
+
+(** {1 Convenience} *)
+
+val digit : t
+val lower : t
+val upper : t
+val letter : t
+
+(** Letters, digits and underscore. *)
+val word_char : t
+
+(** {1 Inspection} *)
+
+(** Does the regex accept the empty string?  (Scanner rules must not: a
+    rule that matches epsilon could loop forever.) *)
+val nullable : t -> bool
+
+(** Character ranges as [(lo, hi)] pairs; used by the NFA construction. *)
+type node =
+  | Eps
+  | Ranges of (char * char) list
+  | Seq2 of t * t
+  | Alt2 of t * t
+  | Star of t
+
+val view : t -> node

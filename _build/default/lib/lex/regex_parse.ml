@@ -1,0 +1,198 @@
+exception Err of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
+
+type stream = {
+  input : string;
+  mutable pos : int;
+}
+
+let peek s = if s.pos < String.length s.input then Some s.input.[s.pos] else None
+
+let advance s = s.pos <- s.pos + 1
+
+let expect s c =
+  match peek s with
+  | Some c' when c' = c -> advance s
+  | Some c' -> fail "expected %C but found %C at offset %d" c c' s.pos
+  | None -> fail "expected %C but reached end of pattern" c
+
+let escape_char s =
+  (* Just consumed a backslash. *)
+  match peek s with
+  | None -> fail "dangling backslash"
+  | Some c ->
+    advance s;
+    (match c with
+    | 'n' -> '\n'
+    | 't' -> '\t'
+    | 'r' -> '\r'
+    | '0' -> '\000'
+    | c -> c)
+
+(* Characters that must be escaped to appear literally outside classes. *)
+let is_meta c = String.contains "()[]|?*+.\\\"" c
+
+let parse_class s =
+  (* '[' already consumed. *)
+  let negated =
+    match peek s with
+    | Some '^' ->
+      advance s;
+      true
+    | _ -> false
+  in
+  let ranges = ref [] in
+  let rec loop () =
+    match peek s with
+    | None -> fail "unterminated character class"
+    | Some ']' -> advance s
+    | Some c ->
+      let lo =
+        if c = '\\' then begin
+          advance s;
+          escape_char s
+        end
+        else begin
+          advance s;
+          c
+        end
+      in
+      let hi =
+        match peek s with
+        | Some '-' when s.pos + 1 < String.length s.input && s.input.[s.pos + 1] <> ']'
+          ->
+          advance s;
+          let c2 =
+            match peek s with
+            | Some '\\' ->
+              advance s;
+              escape_char s
+            | Some c2 ->
+              advance s;
+              c2
+            | None -> fail "unterminated range"
+          in
+          c2
+        | _ -> lo
+      in
+      if hi < lo then fail "inverted range %C-%C" lo hi;
+      ranges := (lo, hi) :: !ranges;
+      loop ()
+  in
+  loop ();
+  if !ranges = [] then fail "empty character class";
+  let ranges = List.rev !ranges in
+  if not negated then Regex.alt (List.map (fun (lo, hi) -> Regex.range lo hi) ranges)
+  else begin
+    (* Complement over the byte alphabet. *)
+    let excluded = Array.make 256 false in
+    List.iter
+      (fun (lo, hi) ->
+        for i = Char.code lo to Char.code hi do
+          excluded.(i) <- true
+        done)
+      ranges;
+    let out = ref [] in
+    let i = ref 0 in
+    while !i < 256 do
+      if not excluded.(!i) then begin
+        let start = !i in
+        while !i < 256 && not excluded.(!i) do
+          incr i
+        done;
+        out := (Char.chr start, Char.chr (!i - 1)) :: !out
+      end
+      else incr i
+    done;
+    match !out with
+    | [] -> fail "class excludes every byte"
+    | ranges -> Regex.alt (List.rev_map (fun (lo, hi) -> Regex.range lo hi) ranges)
+  end
+
+let rec parse_alt s =
+  let first = parse_seq s in
+  match peek s with
+  | Some '|' ->
+    advance s;
+    Regex.alt [ first; parse_alt s ]
+  | _ -> first
+
+and parse_seq s =
+  let rec atoms acc =
+    match peek s with
+    | None | Some ')' | Some '|' -> List.rev acc
+    | _ -> atoms (parse_postfix s :: acc)
+  in
+  Regex.seq (atoms [])
+
+and parse_postfix s =
+  let atom = parse_atom s in
+  let rec post e =
+    match peek s with
+    | Some '?' ->
+      advance s;
+      post (Regex.opt e)
+    | Some '*' ->
+      advance s;
+      post (Regex.star e)
+    | Some '+' ->
+      advance s;
+      post (Regex.plus e)
+    | _ -> e
+  in
+  post atom
+
+and parse_atom s =
+  match peek s with
+  | None -> fail "expected an atom at end of pattern"
+  | Some '(' ->
+    advance s;
+    let inner = parse_alt s in
+    expect s ')';
+    inner
+  | Some '[' ->
+    advance s;
+    parse_class s
+  | Some '.' ->
+    advance s;
+    Regex.any
+  | Some '"' ->
+    advance s;
+    let buf = Buffer.create 8 in
+    let rec loop () =
+      match peek s with
+      | None -> fail "unterminated string literal"
+      | Some '"' -> advance s
+      | Some '\\' ->
+        advance s;
+        Buffer.add_char buf (escape_char s);
+        loop ()
+      | Some c ->
+        advance s;
+        Buffer.add_char buf c;
+        loop ()
+    in
+    loop ();
+    Regex.str (Buffer.contents buf)
+  | Some '\\' ->
+    advance s;
+    Regex.chr (escape_char s)
+  | Some c when is_meta c -> fail "unexpected %C at offset %d" c s.pos
+  | Some c ->
+    advance s;
+    Regex.chr c
+
+let parse input =
+  let s = { input; pos = 0 } in
+  match parse_alt s with
+  | re ->
+    if s.pos <> String.length input then
+      Error (Printf.sprintf "trailing input at offset %d" s.pos)
+    else Ok re
+  | exception Err msg -> Error msg
+
+let parse_exn input =
+  match parse input with
+  | Ok re -> re
+  | Error msg -> invalid_arg ("Regex_parse.parse: " ^ msg)

@@ -1,0 +1,19 @@
+(** A parser for a conventional regex surface syntax, so lexer rules can be
+    written as strings (and loaded from lexer-spec files by the CLI).
+
+    Supported syntax:
+    {v
+      a          literal character        \n \t \\ \' escapes
+      .          any byte
+      [a-z0_]    character class          [^...] negated class
+      (e)        grouping
+      e?  e*  e+ postfix repetition
+      e1|e2      alternation
+      "abc"      literal string (escape the quote with a backslash)
+    v} *)
+
+val parse : string -> (Regex.t, string) result
+
+(** Parse, raising [Invalid_argument] on syntax errors (for inline
+    literals). *)
+val parse_exn : string -> Regex.t

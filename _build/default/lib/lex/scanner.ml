@@ -1,0 +1,127 @@
+type action =
+  | Emit
+  | Skip
+
+type rule = {
+  name : string;
+  re : Regex.t;
+  action : action;
+}
+
+let rule ?(skip = false) name re =
+  { name; re; action = (if skip then Skip else Emit) }
+
+type t = {
+  rules : rule array;
+  dfa : Dfa.t;
+}
+
+let make rules =
+  List.iter
+    (fun r ->
+      if Regex.nullable r.re then
+        invalid_arg ("Scanner.make: rule " ^ r.name ^ " accepts empty string"))
+    rules;
+  let nfa = Nfa.build (List.map (fun r -> r.re) rules) in
+  { rules = Array.of_list rules; dfa = Dfa.of_nfa nfa }
+
+type raw = {
+  kind : string;
+  lexeme : string;
+  line : int;
+  col : int;
+}
+
+type error = {
+  msg : string;
+  err_line : int;
+  err_col : int;
+}
+
+let pp_error ppf e =
+  Fmt.pf ppf "lexical error at line %d, column %d: %s" e.err_line e.err_col
+    e.msg
+
+let scan t input =
+  let n = String.length input in
+  let line = ref 1 and col = ref 0 in
+  let advance_pos lexeme =
+    String.iter
+      (fun c ->
+        if c = '\n' then begin
+          incr line;
+          col := 0
+        end
+        else incr col)
+      lexeme
+  in
+  let rec go pos acc =
+    if pos >= n then Ok (List.rev acc)
+    else begin
+      (* Maximal munch: run the DFA as far as possible, remembering the
+         last accepting position and its rule. *)
+      let best = ref None in
+      let state = ref (Dfa.start t.dfa) in
+      let i = ref pos in
+      (match Dfa.accept t.dfa !state with
+      | Some _ -> assert false (* no nullable rules *)
+      | None -> ());
+      let continue = ref true in
+      while !continue && !i < n do
+        let s' = Dfa.next t.dfa !state input.[!i] in
+        if s' < 0 then continue := false
+        else begin
+          state := s';
+          incr i;
+          match Dfa.accept t.dfa s' with
+          | Some rule_ix -> best := Some (!i, rule_ix)
+          | None -> ()
+        end
+      done;
+      match !best with
+      | None ->
+        Error
+          {
+            msg = Printf.sprintf "no rule matches %C" input.[pos];
+            err_line = !line;
+            err_col = !col;
+          }
+      | Some (end_pos, rule_ix) ->
+        let lexeme = String.sub input pos (end_pos - pos) in
+        let r = t.rules.(rule_ix) in
+        let tok_line = !line and tok_col = !col in
+        advance_pos lexeme;
+        let acc =
+          match r.action with
+          | Skip -> acc
+          | Emit ->
+            { kind = r.name; lexeme; line = tok_line; col = tok_col } :: acc
+        in
+        go end_pos acc
+    end
+  in
+  go 0 []
+
+let tokenize t g input =
+  match scan t input with
+  | Error e -> Error e
+  | Ok raws ->
+    let module G = Costar_grammar.Grammar in
+    let module Tk = Costar_grammar.Token in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | r :: rest -> (
+        match G.terminal_of_name g r.kind with
+        | Some term ->
+          resolve (Tk.make ~line:r.line ~col:r.col term r.lexeme :: acc) rest
+        | None ->
+          Error
+            {
+              msg =
+                Printf.sprintf "token kind %s is not a terminal of the grammar"
+                  r.kind;
+              err_line = r.line;
+              err_col = r.col;
+            })
+    in
+    resolve [] raws

@@ -1,0 +1,51 @@
+(** Longest-match scanners built from prioritized regex rules.
+
+    A scanner turns an input string into raw tokens using the
+    maximal-munch rule; ties between rules matching the same length are
+    broken by rule order (first rule wins), as in ANTLR and ocamllex.
+    Rules marked [Skip] match but emit nothing (whitespace, comments). *)
+
+type action =
+  | Emit  (** produce a token named after the rule *)
+  | Skip  (** match and discard *)
+
+type rule = {
+  name : string;
+  re : Regex.t;
+  action : action;
+}
+
+val rule : ?skip:bool -> string -> Regex.t -> rule
+
+type t
+
+(** @raise Invalid_argument if any rule accepts the empty string (such a
+    rule could make the scanner loop). *)
+val make : rule list -> t
+
+(** A raw token, before terminal-name resolution against a grammar. *)
+type raw = {
+  kind : string;
+  lexeme : string;
+  line : int;
+  col : int;
+}
+
+type error = {
+  msg : string;
+  err_line : int;
+  err_col : int;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [scan t input] produces the raw token sequence, or the position of the
+    first character no rule matches. *)
+val scan : t -> string -> (raw list, error) result
+
+(** [tokenize t g input] scans and resolves token kinds to terminals of
+    [g].  Raw tokens whose kind is not a terminal of [g] produce an
+    [Error]. *)
+val tokenize :
+  t -> Costar_grammar.Grammar.t -> string ->
+  (Costar_grammar.Token.t list, error) result

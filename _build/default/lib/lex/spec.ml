@@ -1,0 +1,156 @@
+exception Err of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
+
+type tok =
+  | Name of string  (** rule name: identifier or quoted literal *)
+  | Pattern of string  (** raw pattern text between double quotes *)
+  | Colon
+  | Semi
+  | Skip_kw
+  | Eof
+
+let lex input =
+  let n = String.length input in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  while !i < n do
+    let c = input.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && input.[!i + 1] = '/' then
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    else if c = ':' then begin
+      toks := Colon :: !toks;
+      incr i
+    end
+    else if c = ';' then begin
+      toks := Semi :: !toks;
+      incr i
+    end
+    else if c = '"' then begin
+      (* Raw pattern: everything up to the closing unescaped quote, with
+         backslash-escapes passed through to the regex parser (except the
+         escaped quote itself). *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '"' then begin
+          closed := true;
+          incr i
+        end
+        else if input.[!i] = '\\' && !i + 1 < n && input.[!i + 1] = '"' then begin
+          (* Keep the backslash: the regex parser handles the escape. *)
+          Buffer.add_string buf "\\\"";
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if not !closed then fail "line %d: unterminated pattern" !line;
+      toks := Pattern (Buffer.contents buf) :: !toks
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 4 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '\'' then begin
+          closed := true;
+          incr i
+        end
+        else if input.[!i] = '\\' && !i + 1 < n then begin
+          (match input.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | ch -> Buffer.add_char buf ch);
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if not !closed then fail "line %d: unterminated name literal" !line;
+      toks := Name (Buffer.contents buf) :: !toks
+    end
+    else if is_ident c then begin
+      let start = !i in
+      while !i < n && is_ident input.[!i] do
+        incr i
+      done;
+      let word = String.sub input start (!i - start) in
+      toks := (if word = "skip" then Skip_kw else Name word) :: !toks
+    end
+    else fail "line %d: unexpected character %C" !line c
+  done;
+  List.rev (Eof :: !toks)
+
+let rules_of_string input =
+  match
+    let toks = ref (lex input) in
+    let peek () = match !toks with [] -> Eof | t :: _ -> t in
+    let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+    let rec rules acc =
+      match peek () with
+      | Eof -> List.rev acc
+      | _ ->
+        let skip =
+          match peek () with
+          | Skip_kw ->
+            advance ();
+            true
+          | _ -> false
+        in
+        let name =
+          match peek () with
+          | Name n ->
+            advance ();
+            n
+          | _ -> fail "expected a rule name"
+        in
+        (match peek () with
+        | Colon -> advance ()
+        | _ -> fail "rule %s: expected ':'" name);
+        let pattern =
+          match peek () with
+          | Pattern p ->
+            advance ();
+            p
+          | _ -> fail "rule %s: expected a quoted pattern" name
+        in
+        (match peek () with
+        | Semi -> advance ()
+        | _ -> fail "rule %s: expected ';'" name);
+        let re =
+          match Regex_parse.parse pattern with
+          | Ok re -> re
+          | Error msg -> fail "rule %s: %s" name msg
+        in
+        rules (Scanner.rule ~skip name re :: acc)
+    in
+    rules []
+  with
+  | [] -> Error "empty lexer specification"
+  | rules -> Ok rules
+  | exception Err msg -> Error msg
+
+let scanner_of_string input =
+  match rules_of_string input with
+  | Error _ as e -> e
+  | Ok rules -> (
+    match Scanner.make rules with
+    | sc -> Ok sc
+    | exception Invalid_argument msg -> Error msg)

@@ -1,0 +1,21 @@
+(** Textual lexer specifications.
+
+    Together with the textual EBNF grammar format, this lets a language be
+    defined entirely in two files and driven from the CLI.  Syntax:
+
+    {v
+      // token rules, first match wins on ties, longest match overall
+      NUMBER : "-?[0-9]+(\.[0-9]+)?" ;
+      '{'    : "{" ;
+      '}'    : "}" ;
+      skip WS      : "[ \t\r\n]+" ;
+      skip COMMENT : "//[^\n]*" ;
+    v}
+
+    Rule names are either identifiers or quoted literals (so punctuation
+    terminals can be named exactly as the grammar spells them); patterns
+    use the {!Regex_parse} syntax. *)
+
+val rules_of_string : string -> (Scanner.rule list, string) result
+
+val scanner_of_string : string -> (Scanner.t, string) result

@@ -1,0 +1,1 @@
+lib/ll1/ll1.ml: Analysis Array Costar_grammar Fmt Grammar Int_set List Printf Token Tree

@@ -1,0 +1,1 @@
+lib/ll1/ll1.mli: Costar_grammar Format Grammar Token Tree

@@ -1,0 +1,1 @@
+lib/stats/lowess.ml: Array Regression

@@ -1,0 +1,84 @@
+(** LOWESS: locally weighted scatterplot smoothing (Cleveland 1979), the
+    technique the paper borrows from the ANTLR evaluation to argue
+    linearity: an unconstrained LOWESS curve that coincides with the
+    least-squares line indicates a genuinely linear relationship.
+
+    This implementation performs, at each x, a tricube-weighted linear
+    regression over the [f]-fraction nearest neighbours (no robustness
+    iterations, matching common defaults for clean data). *)
+
+(** [smooth ~f xs ys] returns the smoothed y value at each [xs] point.
+    Points must be given sorted by x.  [f] is the smoothing fraction; the
+    paper uses f = 0.1. *)
+let smooth ~f xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Lowess.smooth: length mismatch";
+  if n = 0 then [||]
+  else begin
+    let r = max 2 (int_of_float (ceil (f *. float_of_int n))) in
+    let r = min r n in
+    Array.init n (fun i ->
+        let x0 = xs.(i) in
+        (* Window of the r nearest neighbours of x0: slide [lo, lo+r-1]. *)
+        let lo = ref (max 0 (min (n - r) (i - (r / 2)))) in
+        (* Refine: shift while the excluded point is nearer than the
+           farthest included one. *)
+        let better () =
+          !lo > 0
+          && abs_float (x0 -. xs.(!lo - 1)) < abs_float (xs.(!lo + r - 1) -. x0)
+        in
+        while better () do
+          decr lo
+        done;
+        let worse () =
+          !lo + r < n
+          && abs_float (xs.(!lo + r) -. x0) < abs_float (x0 -. xs.(!lo))
+        in
+        while worse () do
+          incr lo
+        done;
+        let lo = !lo in
+        let h =
+          max
+            (abs_float (x0 -. xs.(lo)))
+            (abs_float (xs.(lo + r - 1) -. x0))
+        in
+        (* Tricube weights over the window; weighted linear fit at x0. *)
+        let sw = ref 0.0
+        and swx = ref 0.0
+        and swy = ref 0.0
+        and swxx = ref 0.0
+        and swxy = ref 0.0 in
+        for j = lo to lo + r - 1 do
+          let d = if h = 0.0 then 0.0 else abs_float (xs.(j) -. x0) /. h in
+          let w =
+            if d >= 1.0 then 0.0 else ((1.0 -. (d ** 3.0)) ** 3.0)
+          in
+          sw := !sw +. w;
+          swx := !swx +. (w *. xs.(j));
+          swy := !swy +. (w *. ys.(j));
+          swxx := !swxx +. (w *. xs.(j) *. xs.(j));
+          swxy := !swxy +. (w *. xs.(j) *. ys.(j))
+        done;
+        let denom = (!sw *. !swxx) -. (!swx *. !swx) in
+        if abs_float denom < 1e-12 then if !sw = 0.0 then ys.(i) else !swy /. !sw
+        else begin
+          let b = ((!sw *. !swxy) -. (!swx *. !swy)) /. denom in
+          let a = (!swy -. (b *. !swx)) /. !sw in
+          a +. (b *. x0)
+        end)
+  end
+
+(** Maximum absolute deviation between the LOWESS curve and a straight
+    line, normalized by the y range: the paper's "curves coincide"
+    criterion, quantified. *)
+let max_deviation_from_line ~f xs ys (fit : Regression.fit) =
+  let sm = smooth ~f xs ys in
+  let ymin = Array.fold_left min ys.(0) ys
+  and ymax = Array.fold_left max ys.(0) ys in
+  let range = if ymax -. ymin = 0.0 then 1.0 else ymax -. ymin in
+  let dev = ref 0.0 in
+  Array.iteri
+    (fun i s -> dev := max !dev (abs_float (s -. Regression.predict fit xs.(i)) /. range))
+    sm;
+  !dev

@@ -1,0 +1,30 @@
+(** Ordinary least-squares linear regression (one regressor), used by the
+    Fig. 9 linearity analysis. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination *)
+}
+
+let fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Regression.fit: length mismatch";
+  if n < 2 then invalid_arg "Regression.fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = Array.fold_left ( +. ) 0.0 xs and sy = Array.fold_left ( +. ) 0.0 ys in
+  let mx = sx /. fn and my = sy /. fn in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 then invalid_arg "Regression.fit: x values are constant";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy) in
+  { slope; intercept; r2 }
+
+let predict f x = (f.slope *. x) +. f.intercept

@@ -1,0 +1,30 @@
+(** Summary statistics for benchmark series. *)
+
+let mean xs =
+  match Array.length xs with
+  | 0 -> invalid_arg "Summary.mean: empty"
+  | n -> Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+(** Sample standard deviation (n-1 denominator); 0 for singletons. *)
+let stdev xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.stdev: empty"
+  else if n = 1 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let minimum xs = Array.fold_left min xs.(0) xs
+let maximum xs = Array.fold_left max xs.(0) xs
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.median: empty"
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    if n mod 2 = 1 then sorted.(n / 2)
+    else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+  end

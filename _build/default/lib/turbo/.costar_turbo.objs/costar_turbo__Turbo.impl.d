@@ -1,0 +1,1 @@
+lib/turbo/turbo.ml: Analysis Array Costar_core Costar_grammar Grammar Hashtbl Int_set List Printf Token Tree

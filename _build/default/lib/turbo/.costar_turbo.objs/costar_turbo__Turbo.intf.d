@@ -1,0 +1,1 @@
+lib/turbo/turbo.mli: Costar_core Costar_grammar Grammar Token

@@ -1,0 +1,282 @@
+open Costar_grammar
+open Costar_grammar.Symbols
+module Core = Costar_core
+module Config = Core.Config
+
+(* Deep-hashing hash tables: the default [Hashtbl.hash] inspects only ~10
+   nodes, which makes every large configuration key collide; these traverse
+   enough of the structure to discriminate. *)
+module Cfg_tbl = Hashtbl.Make (struct
+  type t = Config.sll
+
+  let equal a b = Config.compare_sll a b = 0
+  let hash c = Hashtbl.hash_param 500 5000 c
+end)
+
+module Cfgs_tbl = Hashtbl.Make (struct
+  type t = Config.sll list
+
+  let equal a b =
+    List.compare_lengths a b = 0 && List.for_all2 (fun x y -> Config.compare_sll x y = 0) a b
+
+  let hash c = Hashtbl.hash_param 500 5000 c
+end)
+
+(* Precomputed facts about an interned DFA state: [verdict] is -2 for the
+   empty state, a production index when every configuration agrees, or -1
+   when the state is still undecided. *)
+type info = {
+  configs : Config.sll list;
+  verdict : int;
+  accepting : int list;
+}
+
+type t = {
+  g : Grammar.t;
+  anl : Analysis.t;
+  n_terms : int;
+  single : int array;  (* nt -> its only production, or -1 *)
+  dispatch : int array;  (* nt * n_terms + term -> prod | -1 conflict | -2 none *)
+  dispatch_eof : int array;
+  state_ids : int Cfgs_tbl.t;
+  mutable infos : info array;
+  mutable n_states : int;
+  trans : (int, int) Hashtbl.t;  (* sid * n_terms + term -> sid *)
+  mutable inits : int array;  (* nt -> initial DFA state, or -1 *)
+  closure_memo : (Config.sll list, Core.Types.error) result Cfg_tbl.t;
+}
+
+let grammar t = t.g
+
+let build_dispatch g anl =
+  let nts = Grammar.num_nonterminals g and terms = Grammar.num_terminals g in
+  let cells = Array.make (nts * terms) (-2) in
+  let eof = Array.make nts (-2) in
+  let add slot ix arr = arr.(slot) <- (if arr.(slot) = -2 then ix else -1) in
+  Array.iter
+    (fun p ->
+      let x = p.Grammar.lhs in
+      Int_set.iter
+        (fun a -> add ((x * terms) + a) p.ix cells)
+        (Analysis.first_seq anl p.rhs);
+      if Analysis.nullable_seq anl p.rhs then begin
+        Int_set.iter (fun a -> add ((x * terms) + a) p.ix cells) (Analysis.follow anl x);
+        if Analysis.follow_end anl x then add x p.ix eof
+      end)
+    (Grammar.prods g);
+  (cells, eof)
+
+let create g =
+  let anl = Analysis.make g in
+  let dispatch, dispatch_eof = build_dispatch g anl in
+  let nts = Grammar.num_nonterminals g in
+  let single =
+    Array.init nts (fun x ->
+        match Grammar.prods_of g x with [ ix ] -> ix | _ -> -1)
+  in
+  {
+    g;
+    anl;
+    n_terms = Grammar.num_terminals g;
+    single;
+    dispatch;
+    dispatch_eof;
+    state_ids = Cfgs_tbl.create 64;
+    infos = Array.make 16 { configs = []; verdict = -2; accepting = [] };
+    n_states = 0;
+    trans = Hashtbl.create 256;
+    inits = Array.make nts (-1);
+    closure_memo = Cfg_tbl.create 256;
+  }
+
+let reset_cache t =
+  Cfgs_tbl.reset t.state_ids;
+  Hashtbl.reset t.trans;
+  Cfg_tbl.reset t.closure_memo;
+  t.n_states <- 0;
+  Array.fill t.inits 0 (Array.length t.inits) (-1)
+
+let cache_states t = t.n_states
+
+let is_accepting (cfg : Config.sll) =
+  match cfg.Config.s_ctx, cfg.Config.s_frames with
+  | Config.Ctx_accept, [] -> true
+  | _ -> false
+
+let intern t configs =
+  match Cfgs_tbl.find_opt t.state_ids configs with
+  | Some sid -> sid
+  | None ->
+    let sid = t.n_states in
+    if sid = Array.length t.infos then begin
+      let bigger =
+        Array.make (2 * sid) { configs = []; verdict = -2; accepting = [] }
+      in
+      Array.blit t.infos 0 bigger 0 sid;
+      t.infos <- bigger
+    end;
+    let verdict =
+      match Config.preds_of_sll configs with
+      | [] -> -2
+      | [ p ] -> p
+      | _ -> -1
+    in
+    let accepting = Config.preds_of_sll (List.filter is_accepting configs) in
+    t.infos.(sid) <- { configs; verdict; accepting };
+    t.n_states <- sid + 1;
+    Cfgs_tbl.add t.state_ids configs sid;
+    sid
+
+(* Closure with a per-configuration memo table (see [Core.Cache]'s
+   counterpart for why this is sound). *)
+let closure t configs =
+  let rec go acc = function
+    | [] -> Ok (List.sort_uniq Config.compare_sll (List.concat acc))
+    | cfg :: rest -> (
+      let result =
+        match Cfg_tbl.find_opt t.closure_memo cfg with
+        | Some r -> r
+        | None ->
+          let r = Core.Sll.closure t.g t.anl [ cfg ] in
+          Cfg_tbl.add t.closure_memo cfg r;
+          r
+      in
+      match result with
+      | Error e -> Error e
+      | Ok stable -> go (stable :: acc) rest)
+  in
+  go [] configs
+
+(* SLL prediction over the token array, with hash-consed DFA states and
+   O(1) cached transitions.  Same semantics as [Core.Sll.predict]. *)
+let sll_predict t x toks n pos0 =
+  let init () =
+    if t.inits.(x) >= 0 then Ok t.inits.(x)
+    else
+      match closure t (Core.Sll.init_configs t.g x) with
+      | Error e -> Error e
+      | Ok configs ->
+        let sid = intern t configs in
+        t.inits.(x) <- sid;
+        Ok sid
+  in
+  match init () with
+  | Error e -> Core.Types.Error_pred e
+  | Ok sid0 ->
+    let rec walk sid pos =
+      let info = t.infos.(sid) in
+      if info.verdict = -2 then Core.Types.Reject_pred
+      else if info.verdict >= 0 then Core.Types.Unique_pred info.verdict
+      else if pos >= n then
+        match info.accepting with
+        | [] -> Core.Types.Reject_pred
+        | [ p ] -> Core.Types.Unique_pred p
+        | p :: _ -> Core.Types.Ambig_pred p
+      else
+        let a = toks.(pos).Token.term in
+        let key = (sid * t.n_terms) + a in
+        match Hashtbl.find_opt t.trans key with
+        | Some sid' -> walk sid' (pos + 1)
+        | None -> (
+          match closure t (Core.Sll.move info.configs a) with
+          | Error e -> Core.Types.Error_pred e
+          | Ok configs' ->
+            let sid' = intern t configs' in
+            Hashtbl.add t.trans key sid';
+            walk sid' (pos + 1))
+    in
+    walk sid0 pos0
+
+type frame = {
+  label : nonterminal;  (* -1 for the bottom frame *)
+  trees_rev : Tree.t list;
+  suf : symbol list;
+}
+
+let rest_list toks n pos =
+  let rec go i acc = if i < pos then acc else go (i - 1) (toks.(i) :: acc) in
+  go (n - 1) []
+
+let predict t toks n pos x conts =
+  let fast = t.single.(x) in
+  if fast >= 0 then Core.Types.Unique_pred fast
+  else if Grammar.prods_of t.g x = [] then Core.Types.Reject_pred
+  else
+    let d =
+      if pos < n then t.dispatch.((x * t.n_terms) + toks.(pos).Token.term)
+      else t.dispatch_eof.(x)
+    in
+    if d >= 0 then Core.Types.Unique_pred d
+    else if d = -2 then Core.Types.Reject_pred
+    else
+      match sll_predict t x toks n pos with
+      | Core.Types.Ambig_pred _ ->
+        (* Failover to exact LL prediction, as the verified parser does. *)
+        Core.Ll.predict t.g x (conts ()) (rest_list toks n pos)
+      | verdict -> verdict
+
+let parse t token_list =
+  let toks = Array.of_list token_list in
+  let n = Array.length toks in
+  let g = t.g in
+  let reject_at pos msg =
+    Core.Parser.Reject
+      (if pos < n then
+         Printf.sprintf "%s at line %d, column %d" msg toks.(pos).Token.line
+           toks.(pos).Token.col
+       else msg ^ " at end of input")
+  in
+  let rec go top frames pos visited unique =
+    match top.suf with
+    | T a :: suf ->
+      if pos < n && toks.(pos).Token.term = a then
+        go
+          { top with trees_rev = Tree.Leaf toks.(pos) :: top.trees_rev; suf }
+          frames (pos + 1) Int_set.empty unique
+      else
+        reject_at pos
+          (Printf.sprintf "expected '%s'" (Grammar.terminal_name g a))
+    | NT x :: suf ->
+      if Int_set.mem x visited then
+        Core.Parser.Error (Core.Types.Left_recursive x)
+      else begin
+        let conts () = suf :: List.map (fun f -> f.suf) frames in
+        match predict t toks n pos x conts with
+        | Core.Types.Unique_pred ix ->
+          go
+            { label = x; trees_rev = []; suf = (Grammar.prod g ix).Grammar.rhs }
+            ({ top with suf } :: frames)
+            pos (Int_set.add x visited) unique
+        | Core.Types.Ambig_pred ix ->
+          go
+            { label = x; trees_rev = []; suf = (Grammar.prod g ix).Grammar.rhs }
+            ({ top with suf } :: frames)
+            pos (Int_set.add x visited) false
+        | Core.Types.Reject_pred ->
+          reject_at pos
+            (Printf.sprintf "no viable alternative for %s"
+               (Grammar.nonterminal_name g x))
+        | Core.Types.Error_pred e -> Core.Parser.Error e
+      end
+    | [] -> (
+      match frames with
+      | caller :: frames' ->
+        let node = Tree.Node (top.label, List.rev top.trees_rev) in
+        go
+          { caller with trees_rev = node :: caller.trees_rev }
+          frames' pos
+          (Int_set.remove top.label visited)
+          unique
+      | [] -> (
+        if pos < n then reject_at pos "parse finished with input remaining"
+        else
+          match top.trees_rev with
+          | [ v ] ->
+            if unique then Core.Parser.Unique v else Core.Parser.Ambig v
+          | _ ->
+            Core.Parser.Error
+              (Core.Types.Invalid_state "malformed final configuration")))
+  in
+  go
+    { label = -1; trees_rev = []; suf = [ NT (Grammar.start g) ] }
+    [] 0 Int_set.empty true

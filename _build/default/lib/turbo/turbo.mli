@@ -1,0 +1,35 @@
+(** Turbo: an unverified, imperatively optimized ALL(star) parser.
+
+    Turbo is this repo's stand-in for ANTLR in the paper's §6.2 comparison
+    (DESIGN.md, experiments E3 and E4).  It implements the same algorithm as
+    {!Costar_core.Parser} — and is differentially tested against it — but
+    trades the verified implementation's purely functional style for the
+    optimizations an engineer would reach for:
+
+    - tokens in an array indexed by position, not a linked list;
+    - a static 1-token dispatch table that resolves unambiguous decisions
+      without launching subparsers (most decisions in practice);
+    - mutable hash-table DFA caches that persist across inputs, enabling
+      the warm-cache experiments of Fig. 11.
+
+    Results are bit-identical to the verified parser's (same trees, same
+    Unique/Ambig labels, same accept/reject verdicts). *)
+
+open Costar_grammar
+
+type t
+
+(** Build a parser instance.  The instance owns mutable caches; it is not
+    thread-safe, and cache contents persist across {!parse} calls. *)
+val create : Grammar.t -> t
+
+val grammar : t -> Grammar.t
+
+val parse : t -> Token.t list -> Costar_core.Parser.result
+
+(** Forget all dynamically learned DFA states (the static dispatch table
+    remains): the "cold cache" configuration of experiment E4. *)
+val reset_cache : t -> unit
+
+(** Number of interned DFA states currently cached. *)
+val cache_states : t -> int

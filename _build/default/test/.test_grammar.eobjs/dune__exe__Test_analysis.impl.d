@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Costar_core Costar_grammar Costar_langs Grammar Int_set Lang List Minipy

@@ -1,0 +1,1 @@
+test/test_atn.ml: Alcotest Array Atn Costar_grammar Fmt Grammar List QCheck QCheck_alcotest String Util

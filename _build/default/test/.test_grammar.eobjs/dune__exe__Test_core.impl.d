@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Costar_core Costar_grammar Derivation Grammar List Parser Tree Types

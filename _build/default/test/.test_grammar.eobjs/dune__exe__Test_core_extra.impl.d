@@ -1,0 +1,1 @@
+test/test_core_extra.ml: Alcotest Cache Costar_core Costar_grammar Grammar Left_recursion List Machine Parser Printf String Token Tree

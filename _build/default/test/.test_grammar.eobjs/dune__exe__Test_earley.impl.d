@@ -1,0 +1,1 @@
+test/test_earley.ml: Alcotest Costar_core Costar_earley Costar_grammar Derivation Grammar Left_recursion List QCheck QCheck_alcotest Tree Util

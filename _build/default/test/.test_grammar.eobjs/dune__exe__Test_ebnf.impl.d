@@ -1,0 +1,1 @@
+test/test_ebnf.ml: Alcotest Ast Costar_core Costar_ebnf Costar_grammar Desugar Fmt Grammar Left_recursion List Parse Print QCheck QCheck_alcotest String Util

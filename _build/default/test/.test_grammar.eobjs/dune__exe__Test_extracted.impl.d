@@ -1,0 +1,1 @@
+test/test_extracted.ml: Alcotest Costar_core Costar_extracted Costar_grammar Costar_langs Dot Grammar Json Lang Left_recursion List QCheck QCheck_alcotest String Token Tree Util Xml

@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Analysis Costar_grammar Derivation Grammar Int_set Left_recursion List Pool String Symbols Token Tree

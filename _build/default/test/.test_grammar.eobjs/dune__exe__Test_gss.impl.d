@@ -1,0 +1,1 @@
+test/test_gss.ml: Alcotest Analysis Array Cache Costar_core Costar_ebnf Costar_grammar Costar_gss Costar_langs Fun Grammar Left_recursion List Printf QCheck QCheck_alcotest Sll String Types Util

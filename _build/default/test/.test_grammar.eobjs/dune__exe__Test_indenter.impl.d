@@ -1,0 +1,1 @@
+test/test_indenter.ml: Alcotest Costar_langs Costar_lex Indenter List Scanner

@@ -1,0 +1,1 @@
+test/test_langs.ml: Alcotest Costar_core Costar_grammar Costar_langs Derivation Dot Grammar Json Lang Left_recursion List Minipy Printf Registry String Token Tree Xml

@@ -1,0 +1,1 @@
+test/test_lex.ml: Alcotest Costar_grammar Costar_lex Grammar List QCheck QCheck_alcotest Regex Scanner String Token

@@ -1,0 +1,1 @@
+test/test_ll1.ml: Alcotest Costar_core Costar_ebnf Costar_grammar Costar_langs Costar_ll1 Derivation Fmt Grammar Json Lang List String Token Tree Xml

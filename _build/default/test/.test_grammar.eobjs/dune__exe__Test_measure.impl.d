@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Costar_core Costar_grammar Grammar Int_set List Measure Parser

@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Analysis Cache Config Costar_core Costar_grammar Fun Grammar List Ll Parser Predict QCheck Sll Symbols Types Util

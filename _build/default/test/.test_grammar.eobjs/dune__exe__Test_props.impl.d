@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Analysis Cache Costar_core Costar_earley Costar_grammar Derivation Grammar Left_recursion List Ll Machine Measure Parser QCheck QCheck_alcotest Sll Tree Types Util

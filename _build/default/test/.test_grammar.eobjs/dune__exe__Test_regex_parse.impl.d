@@ -1,0 +1,1 @@
+test/test_regex_parse.ml: Alcotest Costar_lex Regex Regex_parse Scanner String

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Costar_core Costar_grammar Grammar List Parser Semantics String Token Tree

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Costar_core Costar_ebnf Costar_lex List Scanner Spec

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Costar_stats Lowess Regression Summary

@@ -1,0 +1,1 @@
+test/test_trace_sample.ml: Alcotest Costar_core Costar_earley Costar_grammar Fmt Grammar Left_recursion List Parser QCheck QCheck_alcotest Random Sample String Trace Util

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Costar_core Costar_earley Costar_grammar Costar_ll1 Grammar Left_recursion List QCheck QCheck_alcotest Transform Util

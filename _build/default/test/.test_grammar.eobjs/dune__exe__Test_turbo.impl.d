@@ -1,0 +1,1 @@
+test/test_turbo.ml: Alcotest Costar_core Costar_grammar Costar_langs Costar_turbo Fmt Grammar Json Lang Left_recursion List Minipy Printf QCheck QCheck_alcotest Registry Tree Util

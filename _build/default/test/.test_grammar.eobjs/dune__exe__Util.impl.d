@@ -1,0 +1,1 @@
+test/util.ml: Array Costar_grammar Fmt Grammar List QCheck Random String Symbols

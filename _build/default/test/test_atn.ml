@@ -1,0 +1,86 @@
+(* ATN tests: the graph representation round-trips the grammar (paper §3.5:
+   "an ATN is merely a graph representation of a CFG"). *)
+
+open Costar_grammar
+open Costar_grammar.Symbols
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fig2 =
+  Grammar.define ~start:"S"
+    [
+      ("S", [ [ Grammar.n "A"; Grammar.t "c" ]; [ Grammar.n "A"; Grammar.t "d" ] ]);
+      ("A", [ [ Grammar.t "a"; Grammar.n "A" ]; [ Grammar.t "b" ] ]);
+    ]
+
+let test_state_count () =
+  let atn = Atn.of_grammar fig2 in
+  (* 2 per nonterminal + one interior state per rhs symbol:
+     2*2 + (2 + 2 + 2 + 1) = 11. *)
+  check_int "states" 11 (Atn.num_states atn)
+
+let test_spell_all_productions () =
+  List.iter
+    (fun g ->
+      let atn = Atn.of_grammar g in
+      Array.iter
+        (fun p ->
+          let spelled = Atn.spell_production atn p.Grammar.ix in
+          check "spells rhs" true (compare_symbols spelled p.Grammar.rhs = 0))
+        (Grammar.prods g))
+    [
+      fig2;
+      Grammar.define ~start:"S" [ ("S", [ [] ]) ];
+      Grammar.define ~start:"S"
+        [ ("S", [ []; [ Grammar.t "x"; Grammar.n "S"; Grammar.t "y" ] ]) ];
+    ]
+
+let test_entry_fanout () =
+  let atn = Atn.of_grammar fig2 in
+  let s =
+    match Grammar.nonterminal_of_name fig2 "S" with
+    | Some x -> x
+    | None -> assert false
+  in
+  (* The entry state has one epsilon edge per alternative. *)
+  let outs = Atn.edges atn (Atn.entry atn s) in
+  check_int "fanout" 2 (List.length outs);
+  check "all epsilon" true
+    (List.for_all (function Atn.Epsilon _ -> true | _ -> false) outs);
+  (* The accept state has no outgoing edges. *)
+  check_int "accept is final" 0 (List.length (Atn.edges atn (Atn.accept atn s)))
+
+let test_dot_rendering () =
+  let atn = Atn.of_grammar fig2 in
+  let dot = Atn.to_dot atn in
+  let contains sub =
+    let n = String.length dot and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub dot i m = sub || go (i + 1)) in
+    go 0
+  in
+  check "has digraph" true (contains "digraph atn");
+  check "names S" true (contains "\"S\"");
+  check "labels terminal" true (contains "'a'")
+
+let prop_spell_random =
+  QCheck.Test.make ~count:300 ~name:"ATN spells every production back"
+    (QCheck.make ~print:(fun g -> Fmt.str "%a" Grammar.pp g) Util.gen_grammar)
+    (fun g ->
+      let atn = Atn.of_grammar g in
+      Array.for_all
+        (fun p ->
+          compare_symbols (Atn.spell_production atn p.Grammar.ix) p.Grammar.rhs
+          = 0)
+        (Grammar.prods g))
+
+let suite =
+  [
+    Alcotest.test_case "state count" `Quick test_state_count;
+    Alcotest.test_case "spelling" `Quick test_spell_all_productions;
+    Alcotest.test_case "entry fanout" `Quick test_entry_fanout;
+    Alcotest.test_case "dot rendering" `Quick test_dot_rendering;
+    QCheck_alcotest.to_alcotest prop_spell_random;
+  ]
+
+let () = Alcotest.run "costar_atn" [ ("atn", suite) ]

@@ -1,0 +1,244 @@
+(* Additional core-parser coverage: scale, error reporting, API surface,
+   robustness, and behaviours at the specification's edges. *)
+
+open Costar_grammar
+open Costar_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let list_grammar =
+  (* list -> eps | 'x' list : right recursion builds an O(n)-deep stack. *)
+  Grammar.define ~start:"L" [ ("L", [ []; [ Grammar.t "x"; Grammar.n "L" ] ]) ]
+
+let test_deep_input () =
+  let n = 30_000 in
+  let w = List.init n (fun _ -> Grammar.token list_grammar "x" "x") in
+  match Parser.parse list_grammar w with
+  | Parser.Unique v ->
+    check_int "width" n (Tree.width v);
+    check_int "depth" (n + 1) (Tree.depth v);
+    check_int "yield length" n (List.length (Tree.yield v))
+  | r -> Alcotest.failf "expected Unique, got %a" (Parser.pp_result list_grammar) r
+
+let test_reject_position () =
+  let g =
+    Grammar.define ~start:"S"
+      [ ("S", [ [ Grammar.t "a"; Grammar.t "b" ] ]) ]
+  in
+  let w =
+    [ Grammar.token ~line:3 ~col:7 g "a" "a"; Grammar.token ~line:3 ~col:9 g "a" "a" ]
+  in
+  match Parser.parse g w with
+  | Parser.Reject msg ->
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    check "mentions expected terminal" true (contains msg "'b'");
+    check "mentions line" true (contains msg "line 3");
+    check "mentions column" true (contains msg "column 9")
+  | r -> Alcotest.failf "expected Reject, got %a" (Parser.pp_result g) r
+
+let test_leftover_input_rejected () =
+  let g = Grammar.define ~start:"S" [ ("S", [ [ Grammar.t "a" ] ]) ] in
+  match Parser.parse g (Grammar.tokens g [ "a"; "a" ]) with
+  | Parser.Reject msg ->
+    check "mentions remaining input" true
+      (String.length msg > 0)
+  | r -> Alcotest.failf "expected Reject, got %a" (Parser.pp_result g) r
+
+let test_run_idempotent () =
+  let p = Parser.make list_grammar in
+  let w = Grammar.tokens list_grammar [ "x"; "x"; "x" ] in
+  match Parser.run p w, Parser.run p w with
+  | Parser.Unique v1, Parser.Unique v2 -> check "same tree" true (Tree.equal v1 v2)
+  | _ -> Alcotest.fail "expected Unique twice"
+
+let test_empty_cache_equivalent () =
+  let p = Parser.make list_grammar in
+  let w = Grammar.tokens list_grammar [ "x"; "x" ] in
+  let r1 = Parser.run p w in
+  let r2, _ = Parser.run_with_cache p Cache.empty w in
+  match r1, r2 with
+  | Parser.Unique v1, Parser.Unique v2 -> check "same tree" true (Tree.equal v1 v2)
+  | _ -> Alcotest.fail "expected Unique twice"
+
+let test_unreachable_left_recursion_harmless () =
+  (* The grammar is statically left-recursive (in a dead rule), but parses
+     that never touch the cycle still succeed: the correctness theorems
+     assume LR-freeness, yet the implementation degrades gracefully. *)
+  let g =
+    Grammar.define ~start:"S"
+      [
+        ("S", [ [ Grammar.t "a" ] ]);
+        ("Dead", [ [ Grammar.n "Dead"; Grammar.t "b" ] ]);
+      ]
+  in
+  check "statically LR" true (Left_recursion.check g <> Ok ());
+  match Parser.parse g (Grammar.tokens g [ "a" ]) with
+  | Parser.Unique _ -> ()
+  | r -> Alcotest.failf "expected Unique, got %a" (Parser.pp_result g) r
+
+let test_empty_input_non_nullable () =
+  let g = Grammar.define ~start:"S" [ ("S", [ [ Grammar.t "a" ] ]) ] in
+  match Parser.parse g [] with
+  | Parser.Reject _ -> ()
+  | r -> Alcotest.failf "expected Reject, got %a" (Parser.pp_result g) r
+
+let test_foreign_terminal_rejected () =
+  (* Tokens whose terminal id belongs to no grammar terminal cannot crash
+     the parser; they are ordinary mismatches. *)
+  let g = Grammar.define ~start:"S" [ ("S", [ [ Grammar.t "a" ] ]) ] in
+  let alien = Token.make 9999 "???" in
+  match Parser.parse g [ alien ] with
+  | Parser.Reject _ -> ()
+  | r -> Alcotest.failf "expected Reject, got %a" (Parser.pp_result g) r
+
+let test_wide_alternation () =
+  (* 40 alternatives with distinct leading terminals: every one must be
+     predicted correctly in one token. *)
+  let names = List.init 40 (fun i -> Printf.sprintf "t%02d" i) in
+  let g =
+    Grammar.define ~start:"S"
+      [ ("S", List.map (fun name -> [ Grammar.t name; Grammar.t "end" ]) names) ]
+  in
+  List.iter
+    (fun name ->
+      match Parser.parse g (Grammar.tokens g [ name; "end" ]) with
+      | Parser.Unique (Tree.Node (_, [ Tree.Leaf tok; _ ])) ->
+        Alcotest.(check string) "right branch" name (Token.lexeme tok)
+      | r -> Alcotest.failf "%s: unexpected %a" name (Parser.pp_result g) r)
+    names
+
+let test_long_lookahead_decision () =
+  (* S -> A 'x' | A 'y' with A -> 'a' A | eps: the decision for S scans
+     the entire run of 'a's; still linear and correct. *)
+  let g =
+    Grammar.define ~start:"S"
+      [
+        ("S", [ [ Grammar.n "A"; Grammar.t "x" ]; [ Grammar.n "A"; Grammar.t "y" ] ]);
+        ("A", [ [ Grammar.t "a"; Grammar.n "A" ]; [] ]);
+      ]
+  in
+  let w = List.init 2000 (fun _ -> "a") @ [ "y" ] in
+  match Parser.parse g (Grammar.tokens g w) with
+  | Parser.Unique v -> check_int "width" 2001 (Tree.width v)
+  | r -> Alcotest.failf "expected Unique, got %a" (Parser.pp_result g) r
+
+let test_machine_accessors () =
+  let p = Parser.make list_grammar in
+  let env = Parser.env p in
+  let st = Machine.init env (Grammar.tokens list_grammar [ "x" ]) in
+  check_int "initial height" 1 (Machine.height st);
+  check_int "initial conts" 1 (List.length (Machine.conts st));
+  check "initial state well-formed" true (Machine.stacks_wf env st);
+  match Machine.step env st with
+  | Machine.Step_cont st' ->
+    check_int "after push" 2 (Machine.height st');
+    check "still well-formed" true (Machine.stacks_wf env st')
+  | _ -> Alcotest.fail "expected Step_cont"
+
+let test_all_rhs_orders_respected () =
+  (* Ambiguity resolution commits to the first viable alternative in
+     grammar order (the ALL-star policy). *)
+  let g1 =
+    Grammar.define ~start:"S"
+      [
+        ("S", [ [ Grammar.n "X" ]; [ Grammar.n "Y" ] ]);
+        ("X", [ [ Grammar.t "a" ] ]);
+        ("Y", [ [ Grammar.t "a" ] ]);
+      ]
+  in
+  let g2 =
+    Grammar.define ~start:"S"
+      [
+        ("S", [ [ Grammar.n "Y" ]; [ Grammar.n "X" ] ]);
+        ("X", [ [ Grammar.t "a" ] ]);
+        ("Y", [ [ Grammar.t "a" ] ]);
+      ]
+  in
+  let top g =
+    match Parser.parse g (Grammar.tokens g [ "a" ]) with
+    | Parser.Ambig (Tree.Node (_, [ Tree.Node (x, _) ])) ->
+      Grammar.nonterminal_name g x
+    | r -> Alcotest.failf "unexpected %a" (Parser.pp_result g) r
+  in
+  Alcotest.(check string) "first alternative (X first)" "X" (top g1);
+  Alcotest.(check string) "first alternative (Y first)" "Y" (top g2)
+
+let test_interior_ambiguity_detected () =
+  (* Ambiguity deep inside the derivation — not at the start symbol — is
+     still detected and propagated to the final label. *)
+  let g =
+    Grammar.define ~start:"S"
+      [
+        ("S", [ [ Grammar.t "("; Grammar.n "M"; Grammar.t ")" ] ]);
+        ("M", [ [ Grammar.n "X" ]; [ Grammar.n "Y" ] ]);
+        ("X", [ [ Grammar.t "a" ] ]);
+        ("Y", [ [ Grammar.t "a" ] ]);
+      ]
+  in
+  match Parser.parse g (Grammar.tokens g [ "("; "a"; ")" ]) with
+  | Parser.Ambig _ -> ()
+  | r -> Alcotest.failf "expected Ambig, got %a" (Parser.pp_result g) r
+
+let test_ambiguity_flag_not_sticky_across_runs () =
+  let g =
+    Grammar.define ~start:"S"
+      [
+        ("S", [ [ Grammar.n "X"; Grammar.t "u" ]; [ Grammar.n "X"; Grammar.t "v" ] ]);
+        ("X", [ [ Grammar.t "a" ] ]);
+      ]
+  in
+  let p = Parser.make g in
+  (* This grammar is unambiguous; repeated runs (warming caches) must keep
+     saying Unique. *)
+  for _ = 1 to 3 do
+    match Parser.run p (Grammar.tokens g [ "a"; "v" ]) with
+    | Parser.Unique _ -> ()
+    | r -> Alcotest.failf "expected Unique, got %a" (Parser.pp_result g) r
+  done
+
+let test_null_ambiguity () =
+  (* Two distinct epsilon derivations: ambiguity without any tokens. *)
+  let g =
+    Grammar.define ~start:"S"
+      [
+        ("S", [ [ Grammar.n "X" ]; [ Grammar.n "Y" ] ]);
+        ("X", [ [] ]);
+        ("Y", [ [] ]);
+      ]
+  in
+  match Parser.parse g [] with
+  | Parser.Ambig _ -> ()
+  | r -> Alcotest.failf "expected Ambig, got %a" (Parser.pp_result g) r
+
+let suite =
+  [
+    Alcotest.test_case "30k-token input" `Quick test_deep_input;
+    Alcotest.test_case "reject carries position" `Quick test_reject_position;
+    Alcotest.test_case "leftover input rejected" `Quick
+      test_leftover_input_rejected;
+    Alcotest.test_case "run is idempotent" `Quick test_run_idempotent;
+    Alcotest.test_case "empty cache equivalent" `Quick
+      test_empty_cache_equivalent;
+    Alcotest.test_case "unreachable LR harmless" `Quick
+      test_unreachable_left_recursion_harmless;
+    Alcotest.test_case "empty input" `Quick test_empty_input_non_nullable;
+    Alcotest.test_case "foreign terminal" `Quick test_foreign_terminal_rejected;
+    Alcotest.test_case "wide alternation" `Quick test_wide_alternation;
+    Alcotest.test_case "long-lookahead decision" `Quick
+      test_long_lookahead_decision;
+    Alcotest.test_case "machine accessors" `Quick test_machine_accessors;
+    Alcotest.test_case "grammar-order commitment" `Quick
+      test_all_rhs_orders_respected;
+    Alcotest.test_case "interior ambiguity" `Quick
+      test_interior_ambiguity_detected;
+    Alcotest.test_case "flag not sticky" `Quick
+      test_ambiguity_flag_not_sticky_across_runs;
+    Alcotest.test_case "null ambiguity" `Quick test_null_ambiguity;
+  ]
+
+let () = Alcotest.run "costar_core_extra" [ ("core-extra", suite) ]

@@ -1,0 +1,151 @@
+(* Earley recognizer and counting-oracle unit tests, including cases the
+   CoStar machine cannot handle (left recursion), which the oracle must. *)
+
+open Costar_grammar
+module E = Costar_earley
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fig2 =
+  Grammar.define ~start:"S"
+    [
+      ("S", [ [ Grammar.n "A"; Grammar.t "c" ]; [ Grammar.n "A"; Grammar.t "d" ] ]);
+      ("A", [ [ Grammar.t "a"; Grammar.n "A" ]; [ Grammar.t "b" ] ]);
+    ]
+
+let lr_expr =
+  (* Left-recursive arithmetic: E -> E + n | n *)
+  Grammar.define ~start:"E"
+    [ ("E", [ [ Grammar.n "E"; Grammar.t "+"; Grammar.t "n" ]; [ Grammar.t "n" ] ]) ]
+
+let ambig =
+  (* S -> S S | a : exponentially ambiguous *)
+  Grammar.define ~start:"S"
+    [ ("S", [ [ Grammar.n "S"; Grammar.n "S" ]; [ Grammar.t "a" ] ]) ]
+
+let w g names = Grammar.tokens g names
+
+let test_recognizer_basic () =
+  check "abd ok" true (E.Recognizer.accepts fig2 (w fig2 [ "a"; "b"; "d" ]));
+  check "bc ok" true (E.Recognizer.accepts fig2 (w fig2 [ "b"; "c" ]));
+  check "ab bad" false (E.Recognizer.accepts fig2 (w fig2 [ "a"; "b" ]));
+  check "empty bad" false (E.Recognizer.accepts fig2 []);
+  check "dd bad" false (E.Recognizer.accepts fig2 (w fig2 [ "d"; "d" ]))
+
+let test_recognizer_left_recursion () =
+  check "n" true (E.Recognizer.accepts lr_expr (w lr_expr [ "n" ]));
+  check "n+n" true (E.Recognizer.accepts lr_expr (w lr_expr [ "n"; "+"; "n" ]));
+  check "n+n+n" true
+    (E.Recognizer.accepts lr_expr (w lr_expr [ "n"; "+"; "n"; "+"; "n" ]));
+  check "+n" false (E.Recognizer.accepts lr_expr (w lr_expr [ "+"; "n" ]));
+  check "n+" false (E.Recognizer.accepts lr_expr (w lr_expr [ "n"; "+" ]))
+
+let test_recognizer_nullable () =
+  (* S -> A B ; A -> eps | a ; B -> eps | b : tricky nullable completions *)
+  let g =
+    Grammar.define ~start:"S"
+      [
+        ("S", [ [ Grammar.n "A"; Grammar.n "B" ] ]);
+        ("A", [ []; [ Grammar.t "a" ] ]);
+        ("B", [ []; [ Grammar.t "b" ] ]);
+      ]
+  in
+  check "eps" true (E.Recognizer.accepts g []);
+  check "a" true (E.Recognizer.accepts g (w g [ "a" ]));
+  check "b" true (E.Recognizer.accepts g (w g [ "b" ]));
+  check "ab" true (E.Recognizer.accepts g (w g [ "a"; "b" ]));
+  check "ba" false (E.Recognizer.accepts g (w g [ "b"; "a" ]))
+
+let test_count_unique () =
+  check_int "abd" 1 (E.Count.count_trees fig2 (w fig2 [ "a"; "b"; "d" ]));
+  check_int "invalid" 0 (E.Count.count_trees fig2 (w fig2 [ "a" ]));
+  check_int "n+n" 1 (E.Count.count_trees lr_expr (w lr_expr [ "n"; "+"; "n" ]))
+
+let test_count_ambiguous () =
+  check_int "a" 1 (E.Count.count_trees ambig (w ambig [ "a" ]));
+  check_int "aa" 1 (E.Count.count_trees ambig (w ambig [ "a"; "a" ]));
+  (* aaa: two binary bracketings *)
+  check_int "aaa" 2 (E.Count.count_trees ambig (w ambig [ "a"; "a"; "a" ]));
+  (* Higher caps count precisely: aaaa has 5 bracketings (Catalan). *)
+  check_int "aaaa cap 10" 5
+    (E.Count.count_trees ~cap:10 ambig (w ambig [ "a"; "a"; "a"; "a" ]))
+
+let test_count_infinite_cycles () =
+  (* A -> A | a : infinitely many trees; saturates at the cap. *)
+  let g =
+    Grammar.define ~start:"A" [ ("A", [ [ Grammar.n "A" ]; [ Grammar.t "a" ] ]) ]
+  in
+  check_int "unit cycle saturates" 2 (E.Count.count_trees g (w g [ "a" ]));
+  check_int "cap 7" 7 (E.Count.count_trees ~cap:7 g (w g [ "a" ]))
+
+let test_enumerate () =
+  let trees = E.Count.enumerate ~limit:2 ambig (w ambig [ "a"; "a"; "a" ]) in
+  check_int "two trees" 2 (List.length trees);
+  (match trees with
+  | [ v1; v2 ] ->
+    check "distinct" false (Tree.equal v1 v2);
+    check "sound 1" true
+      (Derivation.recognizes_start ambig (w ambig [ "a"; "a"; "a" ]) v1);
+    check "sound 2" true
+      (Derivation.recognizes_start ambig (w ambig [ "a"; "a"; "a" ]) v2)
+  | _ -> Alcotest.fail "expected two trees");
+  let unique = E.Count.enumerate ~limit:5 fig2 (w fig2 [ "a"; "b"; "d" ]) in
+  check_int "one tree" 1 (List.length unique)
+
+let test_first_tree () =
+  (match E.Count.first_tree fig2 (w fig2 [ "a"; "b"; "d" ]) with
+  | Some v ->
+    Alcotest.(check string)
+      "tree" "(S (A 'a' (A 'b')) 'd')" (Tree.to_string fig2 v)
+  | None -> Alcotest.fail "expected a tree");
+  check "invalid gives None" true
+    (E.Count.first_tree fig2 (w fig2 [ "a" ]) = None);
+  (* On ambiguous input: some valid tree. *)
+  (match E.Count.first_tree ambig (w ambig [ "a"; "a"; "a" ]) with
+  | Some v ->
+    check "valid" true
+      (Derivation.recognizes_start ambig (w ambig [ "a"; "a"; "a" ]) v)
+  | None -> Alcotest.fail "expected a tree");
+  (* Through a unit cycle: A -> A | 'a' still extracts the finite tree. *)
+  let cyc =
+    Grammar.define ~start:"A" [ ("A", [ [ Grammar.n "A" ]; [ Grammar.t "a" ] ]) ]
+  in
+  match E.Count.first_tree cyc (w cyc [ "a" ]) with
+  | Some v -> check "cycle tree valid" true (Derivation.recognizes_start cyc (w cyc [ "a" ]) v)
+  | None -> Alcotest.fail "expected a tree"
+
+let prop_first_tree_oracle =
+  (* Wherever the word has exactly one derivation, the extractor and the
+     CoStar parser must produce the identical tree. *)
+  QCheck.Test.make ~count:400 ~name:"first_tree = CoStar tree when unique"
+    Util.arb_grammar_word (fun (g, word) ->
+      match Left_recursion.check g with
+      | Error _ -> true
+      | Ok () -> (
+        let toks = Grammar.tokens g word in
+        match E.Count.count_trees ~cap:2 g toks, E.Count.first_tree g toks with
+        | 0, None -> true
+        | 0, Some _ -> false
+        | _, None -> false
+        | 1, Some v1 -> (
+          match Costar_core.Parser.parse g toks with
+          | Costar_core.Parser.Unique v2 -> Tree.equal v1 v2
+          | _ -> false)
+        | _, Some v -> Derivation.recognizes_start g toks v))
+
+let suite =
+  [
+    Alcotest.test_case "recognizer basics" `Quick test_recognizer_basic;
+    Alcotest.test_case "recognizer left recursion" `Quick
+      test_recognizer_left_recursion;
+    Alcotest.test_case "recognizer nullable" `Quick test_recognizer_nullable;
+    Alcotest.test_case "count unique" `Quick test_count_unique;
+    Alcotest.test_case "count ambiguous" `Quick test_count_ambiguous;
+    Alcotest.test_case "count infinite cycles" `Quick test_count_infinite_cycles;
+    Alcotest.test_case "enumerate" `Quick test_enumerate;
+    Alcotest.test_case "first_tree" `Quick test_first_tree;
+    QCheck_alcotest.to_alcotest prop_first_tree_oracle;
+  ]
+
+let () = Alcotest.run "costar_earley" [ ("earley", suite) ]

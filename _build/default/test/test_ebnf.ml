@@ -1,0 +1,172 @@
+(* EBNF layer tests: desugaring semantics (language preservation spot
+   checks), fresh-nonterminal sharing, and the textual format parser. *)
+
+open Costar_grammar
+open Costar_ebnf
+module P = Costar_core.Parser
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parses g names =
+  match P.parse g (Grammar.tokens g names) with
+  | P.Unique _ | P.Ambig _ -> true
+  | P.Reject _ -> false
+  | P.Error e -> Alcotest.failf "parser error: %s" (Costar_core.Types.error_to_string g e)
+
+let test_star () =
+  (* list : '[' ITEM* ']' *)
+  let g =
+    Desugar.to_grammar ~start:"list"
+      [ Ast.rule "list" Ast.(seq [ lit "["; star (tok "ITEM"); lit "]" ]) ]
+  in
+  check "empty" true (parses g [ "["; "]" ]);
+  check "one" true (parses g [ "["; "ITEM"; "]" ]);
+  check "three" true (parses g [ "["; "ITEM"; "ITEM"; "ITEM"; "]" ]);
+  check "missing close" false (parses g [ "["; "ITEM" ])
+
+let test_plus () =
+  let g =
+    Desugar.to_grammar ~start:"s" [ Ast.rule "s" Ast.(plus (tok "X")) ]
+  in
+  check "zero rejected" false (parses g []);
+  check "one" true (parses g [ "X" ]);
+  check "many" true (parses g [ "X"; "X"; "X"; "X" ])
+
+let test_opt () =
+  let g =
+    Desugar.to_grammar ~start:"s"
+      [ Ast.rule "s" Ast.(seq [ tok "A"; opt (tok "B"); tok "C" ]) ]
+  in
+  check "without" true (parses g [ "A"; "C" ]);
+  check "with" true (parses g [ "A"; "B"; "C" ]);
+  check "double rejected" false (parses g [ "A"; "B"; "B"; "C" ])
+
+let test_nested_groups () =
+  (* s : ('a' | 'b' 'c')+ 'd' *)
+  let g =
+    Desugar.to_grammar ~start:"s"
+      [
+        Ast.rule "s"
+          Ast.(seq [ plus (alt [ lit "a"; seq [ lit "b"; lit "c" ] ]); lit "d" ]);
+      ]
+  in
+  check "a d" true (parses g [ "a"; "d" ]);
+  check "bc d" true (parses g [ "b"; "c"; "d" ]);
+  check "a bc a d" true (parses g [ "a"; "b"; "c"; "a"; "d" ]);
+  check "b d rejected" false (parses g [ "b"; "d" ])
+
+let test_sharing () =
+  (* The same subexpression used twice synthesizes one nonterminal. *)
+  let star_x = Ast.(star (tok "X")) in
+  let g =
+    Desugar.to_grammar ~start:"s"
+      [ Ast.rule "s" Ast.(seq [ star_x; tok "SEP"; star_x ]) ]
+  in
+  (* nonterminals: s + one shared star = 2 *)
+  check_int "two nonterminals" 2 (Grammar.num_nonterminals g)
+
+let test_no_left_recursion_introduced () =
+  let g =
+    Desugar.to_grammar ~start:"s"
+      [
+        Ast.rule "s" Ast.(seq [ star (r "item"); tok "END" ]);
+        Ast.rule "item" Ast.(alt [ tok "A"; seq [ tok "B"; opt (tok "C") ] ]);
+      ]
+  in
+  check "still LR-free" true (Left_recursion.check g = Ok ())
+
+let test_textual_format () =
+  let src =
+    {|
+      // A toy expression language
+      expr   : term (('+' | '-') term)* ;
+      term   : factor ('*' factor)* ;
+      factor : NUM | '(' expr ')' ;
+    |}
+  in
+  match Parse.grammar_of_string src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok g ->
+    check "n+n*n" true (parses g [ "NUM"; "+"; "NUM"; "*"; "NUM" ]);
+    check "parens" true
+      (parses g [ "("; "NUM"; "+"; "NUM"; ")"; "*"; "NUM" ]);
+    check "dangling op" false (parses g [ "NUM"; "+" ]);
+    check "LR-free" true (Left_recursion.check g = Ok ())
+
+let test_textual_comments_and_escapes () =
+  let src = {|
+    s : 'a' /* inline */ t? ;  // trailing
+    t : '\n' ;
+  |} in
+  match Parse.rules_of_string src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok rules ->
+    check_int "two rules" 2 (List.length rules);
+    check "newline literal" true
+      (match (List.nth rules 1).Ast.body with Ast.Lit "\n" -> true | _ -> false)
+
+let test_textual_errors () =
+  let bad fmt = match Parse.rules_of_string fmt with Error _ -> true | Ok _ -> false in
+  check "missing semi" true (bad "s : 'a'");
+  check "unbalanced paren" true (bad "s : ('a' ;");
+  check "empty literal" true (bad "s : '' ;");
+  check "missing colon" true (bad "s 'a' ;");
+  check "stray char" true (bad "s : 'a' @ ;");
+  check "unterminated comment" true (bad "s : 'a' ; /* oops");
+  check "empty grammar" true (bad "   ")
+
+let test_ebnf_pp_roundtrip () =
+  let src = "s : 'a' (B | c)* d? ;\nc : C+ ;\nd : D ;" in
+  match Parse.rules_of_string src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok rules -> (
+    let printed = Fmt.str "%a" Fmt.(list ~sep:cut Ast.pp_rule) rules in
+    match Parse.rules_of_string printed with
+    | Error msg -> Alcotest.failf "reparse failed: %s (printed: %s)" msg printed
+    | Ok rules' -> check_int "same rule count" (List.length rules) (List.length rules'))
+
+let prop_print_parse_roundtrip =
+  (* Printing a (BNF) grammar and reparsing it is the identity, up to the
+     printer's own normal form: print (parse (print g)) = print g. *)
+  QCheck.Test.make ~count:300 ~name:"print/parse round-trip"
+    (QCheck.make ~print:(fun g -> Fmt.str "%a" Grammar.pp g) Util.gen_grammar)
+    (fun g ->
+      let text = Print.grammar_to_string g in
+      let start =
+        Grammar.nonterminal_name g (Grammar.start g)
+      in
+      match Parse.grammar_of_string ~start text with
+      | Error _ -> false
+      | Ok g' -> String.equal (Print.grammar_to_string g') text)
+
+let test_print_quoting () =
+  let g =
+    Grammar.define ~start:"s"
+      [ ("s", [ [ Grammar.t "it's"; Grammar.t "NL"; Grammar.t "\n" ] ]) ]
+  in
+  let text = Print.grammar_to_string g in
+  match Parse.grammar_of_string ~start:"s" text with
+  | Error msg -> Alcotest.failf "reparse failed: %s on %s" msg text
+  | Ok g' ->
+    Alcotest.(check string) "stable" text (Print.grammar_to_string g')
+
+let suite =
+  [
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "plus" `Quick test_plus;
+    Alcotest.test_case "opt" `Quick test_opt;
+    Alcotest.test_case "nested groups" `Quick test_nested_groups;
+    Alcotest.test_case "subexpression sharing" `Quick test_sharing;
+    Alcotest.test_case "no left recursion introduced" `Quick
+      test_no_left_recursion_introduced;
+    Alcotest.test_case "textual format" `Quick test_textual_format;
+    Alcotest.test_case "textual comments/escapes" `Quick
+      test_textual_comments_and_escapes;
+    Alcotest.test_case "textual errors" `Quick test_textual_errors;
+    Alcotest.test_case "pp roundtrip" `Quick test_ebnf_pp_roundtrip;
+    Alcotest.test_case "print quoting" `Quick test_print_quoting;
+    QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+  ]
+
+let () = Alcotest.run "costar_ebnf" [ ("ebnf", suite) ]

@@ -1,0 +1,75 @@
+(* Statistics library tests: summary stats, least squares, LOWESS. *)
+
+open Costar_stats
+
+let check_float = Alcotest.(check (float 1e-9))
+let check = Alcotest.(check bool)
+
+let test_summary () =
+  check_float "mean" 2.5 (Summary.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "stdev singleton" 0.0 (Summary.stdev [| 5.0 |]);
+  check_float "stdev" (sqrt (5.0 /. 3.0))
+    (Summary.stdev [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "median odd" 2.0 (Summary.median [| 3.0; 1.0; 2.0 |]);
+  check_float "median even" 2.5 (Summary.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  check_float "min" 1.0 (Summary.minimum [| 3.0; 1.0; 2.0 |]);
+  check_float "max" 3.0 (Summary.maximum [| 3.0; 1.0; 2.0 |])
+
+let test_regression_exact () =
+  (* y = 3x + 1 recovered exactly, r^2 = 1. *)
+  let xs = [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (3.0 *. x) +. 1.0) xs in
+  let f = Regression.fit xs ys in
+  check_float "slope" 3.0 f.Regression.slope;
+  check_float "intercept" 1.0 f.Regression.intercept;
+  check_float "r2" 1.0 f.Regression.r2;
+  check_float "predict" 16.0 (Regression.predict f 5.0)
+
+let test_regression_noisy () =
+  let xs = Array.init 100 float_of_int in
+  let ys =
+    Array.mapi
+      (fun i x -> (2.0 *. x) +. 5.0 +. (if i mod 2 = 0 then 0.5 else -0.5))
+      xs
+  in
+  let f = Regression.fit xs ys in
+  check "slope near 2" true (abs_float (f.Regression.slope -. 2.0) < 0.01);
+  check "r2 high" true (f.Regression.r2 > 0.99)
+
+let test_lowess_linear () =
+  (* On linear data the LOWESS curve coincides with the line (the paper's
+     linearity criterion). *)
+  let xs = Array.init 50 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> (0.7 *. x) +. 2.0) xs in
+  let f = Regression.fit xs ys in
+  let dev = Lowess.max_deviation_from_line ~f:0.3 xs ys f in
+  check "coincides on linear data" true (dev < 0.01)
+
+let test_lowess_quadratic_deviates () =
+  (* On quadratic data, LOWESS departs from the regression line — the
+     signature of nonlinearity the methodology is designed to expose. *)
+  let xs = Array.init 50 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> x *. x) xs in
+  let f = Regression.fit xs ys in
+  let dev = Lowess.max_deviation_from_line ~f:0.3 xs ys f in
+  check "deviates on quadratic data" true (dev > 0.03)
+
+let test_lowess_tracks_data () =
+  let xs = Array.init 30 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> sin (x /. 5.0)) xs in
+  let sm = Lowess.smooth ~f:0.2 xs ys in
+  Array.iteri
+    (fun i s -> check "close to data" true (abs_float (s -. ys.(i)) < 0.1))
+    sm
+
+let suite =
+  [
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "regression exact" `Quick test_regression_exact;
+    Alcotest.test_case "regression noisy" `Quick test_regression_noisy;
+    Alcotest.test_case "lowess linear" `Quick test_lowess_linear;
+    Alcotest.test_case "lowess quadratic" `Quick test_lowess_quadratic_deviates;
+    Alcotest.test_case "lowess tracks data" `Quick test_lowess_tracks_data;
+  ]
+
+let () = Alcotest.run "costar_stats" [ ("stats", suite) ]

@@ -1,0 +1,209 @@
+(* Grammar-transformation tests: left-recursion elimination (paper §4.1/§8),
+   left factoring, and useless-symbol removal — unit cases plus
+   language-preservation properties against the Earley oracle. *)
+
+open Costar_grammar
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let accepts g w =
+  (* A word mentioning a terminal the grammar does not even know is
+     trivially outside its language. *)
+  match Grammar.tokens g w with
+  | toks -> Costar_earley.Recognizer.accepts g toks
+  | exception Invalid_argument _ -> false
+
+(* Spot-check language equality over all words up to [len] drawn from
+   [terminals].  (Exponential, so keep len small.) *)
+let same_language ?(len = 5) terminals g1 g2 =
+  let rec words n =
+    if n = 0 then [ [] ]
+    else
+      let shorter = words (n - 1) in
+      shorter
+      @ List.concat_map
+          (fun w -> List.map (fun t -> t :: w) terminals)
+          (List.filter (fun w -> List.length w = n - 1) shorter)
+  in
+  List.for_all (fun w -> accepts g1 w = accepts g2 w) (words len)
+
+let lr_expr =
+  Grammar.define ~start:"E"
+    [
+      ( "E",
+        [
+          [ Grammar.n "E"; Grammar.t "+"; Grammar.t "n" ];
+          [ Grammar.n "E"; Grammar.t "*"; Grammar.t "n" ];
+          [ Grammar.t "n" ];
+        ] );
+    ]
+
+let test_eliminate_direct () =
+  let g' = Transform.eliminate_left_recursion lr_expr in
+  check "LR-free afterwards" true (Left_recursion.check g' = Ok ());
+  check "same language" true (same_language [ "n"; "+"; "*" ] lr_expr g');
+  (* And CoStar can now actually parse with it. *)
+  match
+    Costar_core.Parser.parse g' (Grammar.tokens g' [ "n"; "+"; "n"; "*"; "n" ])
+  with
+  | Costar_core.Parser.Unique _ -> ()
+  | r -> Alcotest.failf "expected Unique, got %a" (Costar_core.Parser.pp_result g') r
+
+let test_eliminate_indirect () =
+  (* A -> B 'a' | 'd' ; B -> A 'b' | 'c' : indirect left recursion. *)
+  let g =
+    Grammar.define ~start:"A"
+      [
+        ("A", [ [ Grammar.n "B"; Grammar.t "a" ]; [ Grammar.t "d" ] ]);
+        ("B", [ [ Grammar.n "A"; Grammar.t "b" ]; [ Grammar.t "c" ] ]);
+      ]
+  in
+  check "indirectly left-recursive" true (Left_recursion.check g <> Ok ());
+  let g' = Transform.eliminate_left_recursion g in
+  check "LR-free afterwards" true (Left_recursion.check g' = Ok ());
+  check "same language" true
+    (same_language ~len:6 [ "a"; "b"; "c"; "d" ] g g')
+
+let test_eliminate_unit_self_loop () =
+  (* X -> X | 'x' : the cyclic production is dropped. *)
+  let g =
+    Grammar.define ~start:"X" [ ("X", [ [ Grammar.n "X" ]; [ Grammar.t "x" ] ]) ]
+  in
+  let g' = Transform.eliminate_left_recursion g in
+  check "LR-free" true (Left_recursion.check g' = Ok ());
+  check "accepts x" true (accepts g' [ "x" ]);
+  check "rejects xx" false (accepts g' [ "x"; "x" ])
+
+let test_eliminate_hidden_raises () =
+  let g =
+    Grammar.define ~start:"S"
+      [
+        ("S", [ [ Grammar.n "N"; Grammar.n "S"; Grammar.t "x" ]; [ Grammar.t "y" ] ]);
+        ("N", [ [] ]);
+      ]
+  in
+  check "hidden LR raises" true
+    (try
+       ignore (Transform.eliminate_left_recursion g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_eliminate_noop_on_clean () =
+  let g =
+    Grammar.define ~start:"S"
+      [ ("S", [ [ Grammar.t "a"; Grammar.n "S" ]; [] ]) ]
+  in
+  let g' = Transform.eliminate_left_recursion g in
+  check "language unchanged" true (same_language [ "a" ] g g');
+  check_int "no new nonterminals" (Grammar.num_nonterminals g)
+    (Grammar.num_nonterminals g')
+
+let test_left_factor () =
+  let g =
+    Grammar.define ~start:"S"
+      [
+        ( "S",
+          [
+            [ Grammar.t "a"; Grammar.t "b"; Grammar.t "c" ];
+            [ Grammar.t "a"; Grammar.t "b"; Grammar.t "d" ];
+            [ Grammar.t "e" ];
+          ] );
+      ]
+  in
+  check "not LL(1) before" true (Costar_ll1.Ll1.conflicts g <> []);
+  let g' = Transform.left_factor g in
+  check "LL(1) after factoring" true (Costar_ll1.Ll1.conflicts g' = []);
+  check "same language" true
+    (same_language ~len:4 [ "a"; "b"; "c"; "d"; "e" ] g g')
+
+let test_left_factor_nested () =
+  (* Factoring cascades: after pulling 'a', the suffixes still share 'b'. *)
+  let g =
+    Grammar.define ~start:"S"
+      [
+        ( "S",
+          [
+            [ Grammar.t "a"; Grammar.t "b"; Grammar.t "c" ];
+            [ Grammar.t "a"; Grammar.t "b" ];
+            [ Grammar.t "a" ];
+          ] );
+      ]
+  in
+  let g' = Transform.left_factor g in
+  check "same language" true (same_language ~len:4 [ "a"; "b"; "c" ] g g');
+  check "LL(1) after" true (Costar_ll1.Ll1.conflicts g' = [])
+
+let test_remove_useless () =
+  let g =
+    Grammar.define ~allow_undefined:true ~start:"S"
+      [
+        ("S", [ [ Grammar.t "x" ]; [ Grammar.n "Loop" ] ]);
+        ("Dead", [ [ Grammar.t "y" ] ]);
+        ("Loop", [ [ Grammar.n "Loop" ] ]);
+      ]
+  in
+  let g' = Transform.remove_useless g in
+  check "Dead removed" true (Grammar.nonterminal_of_name g' "Dead" = None);
+  check "Loop removed" true (Grammar.nonterminal_of_name g' "Loop" = None);
+  check "language preserved" true (same_language ~len:3 [ "x"; "y" ] g g')
+
+let test_remove_useless_empty_language () =
+  let g =
+    Grammar.define ~start:"S" [ ("S", [ [ Grammar.n "S"; Grammar.t "x" ] ]) ]
+  in
+  check "empty language raises" true
+    (try
+       ignore (Transform.remove_useless g);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_eliminate_preserves_language =
+  QCheck.Test.make ~count:300
+    ~name:"left-recursion elimination preserves the language"
+    Util.arb_grammar_word (fun (g, w) ->
+      match Transform.eliminate_left_recursion g with
+      | exception Invalid_argument _ -> true (* hidden left recursion *)
+      | g' ->
+        Left_recursion.check g' = Ok () && accepts g w = accepts g' w)
+
+let prop_factor_preserves_language =
+  QCheck.Test.make ~count:300 ~name:"left factoring preserves the language"
+    Util.arb_grammar_word (fun (g, w) ->
+      let g' = Transform.left_factor g in
+      accepts g w = accepts g' w)
+
+let prop_eliminated_grammars_parse =
+  QCheck.Test.make ~count:200
+    ~name:"CoStar parses what the eliminated grammar accepts"
+    Util.arb_grammar_word (fun (g, w) ->
+      match Transform.eliminate_left_recursion g with
+      | exception Invalid_argument _ -> true
+      | g' -> (
+        let word = Grammar.tokens g' w in
+        let accepted = accepts g' w in
+        match Costar_core.Parser.parse g' word with
+        | Costar_core.Parser.Unique _ | Costar_core.Parser.Ambig _ -> accepted
+        | Costar_core.Parser.Reject _ -> not accepted
+        | Costar_core.Parser.Error _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "direct elimination" `Quick test_eliminate_direct;
+    Alcotest.test_case "indirect elimination" `Quick test_eliminate_indirect;
+    Alcotest.test_case "unit self-loop dropped" `Quick
+      test_eliminate_unit_self_loop;
+    Alcotest.test_case "hidden LR raises" `Quick test_eliminate_hidden_raises;
+    Alcotest.test_case "no-op on clean grammars" `Quick
+      test_eliminate_noop_on_clean;
+    Alcotest.test_case "left factoring" `Quick test_left_factor;
+    Alcotest.test_case "nested left factoring" `Quick test_left_factor_nested;
+    Alcotest.test_case "useless removal" `Quick test_remove_useless;
+    Alcotest.test_case "empty language rejected" `Quick
+      test_remove_useless_empty_language;
+    QCheck_alcotest.to_alcotest prop_eliminate_preserves_language;
+    QCheck_alcotest.to_alcotest prop_factor_preserves_language;
+    QCheck_alcotest.to_alcotest prop_eliminated_grammars_parse;
+  ]
+
+let () = Alcotest.run "costar_transform" [ ("transform", suite) ]
