@@ -3,6 +3,7 @@
      costar parse  --lang json file.json         parse with a built-in language
      costar parse  --grammar g.ebnf --tokens "a b c"   parse terminal names
      costar check  --grammar g.ebnf              static grammar report
+     costar lint   --grammar g.ebnf --lexer g.lexer   coded diagnostics
      costar lex    --lang minipy file.py         print the token stream
      costar gen    --lang xml --size 100         emit a synthetic corpus file
      costar sample --grammar g.ebnf -n 5         sample sentences
@@ -169,8 +170,87 @@ let parse_cmd =
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse input and print the parse tree.") term
 
-(* --- check -------------------------------------------------------------- *)
+(* --- lint / check ------------------------------------------------------- *)
 
+module Lint = Costar_lint.Lint
+module Render = Costar_lint.Render
+
+(* Build the lint input for the selected sources.  Syntax errors in either
+   file are fatal (exit 2): there is nothing to lint yet. *)
+let lint_input lang grammar start lexer =
+  let input = Lint.empty_input in
+  let input =
+    match lang, grammar with
+    | Some _, Some _ ->
+      prerr_endline "costar: give at most one of --lang or --grammar";
+      exit 2
+    | Some name, None ->
+      let l = or_die (find_lang name) in
+      { input with Lint.prebuilt = Some (Costar_langs.Lang.grammar l) }
+    | None, Some path -> (
+      match Costar_ebnf.Parse.rules_of_string (read_file path) with
+      | Error msg ->
+        prerr_endline (Printf.sprintf "costar: %s: %s" path msg);
+        exit 2
+      | Ok rules ->
+        { input with Lint.rules = Some rules; grammar_file = Some path; start })
+    | None, None -> input
+  in
+  let input =
+    match lexer with
+    | None -> input
+    | Some path -> (
+      match Costar_lex.Spec.srules_of_string (read_file path) with
+      | Error msg ->
+        prerr_endline (Printf.sprintf "costar: %s: %s" path msg);
+        exit 2
+      | Ok rules ->
+        { input with Lint.lexer = Some rules; lexer_file = Some path })
+  in
+  if input.Lint.rules = None && input.Lint.prebuilt = None
+     && input.Lint.lexer = None
+  then begin
+    prerr_endline "costar: give at least one of --lang, --grammar, or --lexer";
+    exit 2
+  end;
+  input
+
+let lint_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let max_warnings_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "max-warnings" ] ~docv:"N"
+          ~doc:"Tolerate up to N warnings before exiting nonzero (default 0).")
+  in
+  let run lang grammar lexer start format max_warnings =
+    let input = lint_input lang grammar start lexer in
+    let diags = Lint.run input in
+    (match format with
+    | `Text -> print_string (Render.text diags)
+    | `Json -> print_string (Render.json diags));
+    exit (Lint.exit_code ~max_warnings diags)
+  in
+  let term =
+    Term.(
+      const run $ lang_arg $ grammar_arg $ lexer_arg $ start_arg $ format_arg
+      $ max_warnings_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis with coded, span-carrying diagnostics (grammar \
+          and lexer spec).  Exit code: 0 clean, 1 warnings, 2 errors.")
+    term
+
+(* The check report is the lint engine plus grammar sizes: same codes, text
+   rendering, but always exit 0 (it is a report, not a gate). *)
 let check_cmd =
   let run lang grammar start =
     let g, _ = resolve_source lang grammar start in
@@ -178,37 +258,15 @@ let check_cmd =
       (Grammar.num_terminals g)
       (Grammar.num_nonterminals g)
       (Grammar.num_productions g);
-    let anl = Analysis.make g in
-    (match Left_recursion.check g with
-    | Ok () -> print_endline "left recursion: none"
-    | Error xs ->
-      Printf.printf "left recursion: %s\n"
-        (String.concat ", " (List.map (Grammar.nonterminal_name g) xs)));
-    let warn pred label =
-      let bad =
-        List.filter pred
-          (List.init (Grammar.num_nonterminals g) (fun x -> x))
-      in
-      if bad <> [] then
-        Printf.printf "%s: %s\n" label
-          (String.concat ", " (List.map (Grammar.nonterminal_name g) bad))
-    in
-    warn (fun x -> not (Analysis.reachable anl x)) "unreachable";
-    warn (fun x -> not (Analysis.productive anl x)) "non-productive";
-    match Costar_ll1.Ll1.conflicts g with
-    | [] -> print_endline "LL(1): no conflicts (an LL(1) parser would suffice)"
-    | cs ->
-      Printf.printf "LL(1) conflicts: %d (adaptive prediction required)\n"
-        (List.length cs);
-      List.iteri
-        (fun i c ->
-          if i < 5 then Fmt.pr "  %a@." (Costar_ll1.Ll1.pp_conflict g) c)
-        cs
+    let input = lint_input lang grammar start None in
+    print_string (Render.text (Lint.run input))
   in
   let term = Term.(const run $ lang_arg $ grammar_arg $ start_arg) in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Static grammar report: sizes, left recursion, LL(1) conflicts.")
+       ~doc:
+         "Static grammar report: sizes plus the full lint diagnostics \
+          (left recursion, reachability, LL(1) conflicts, ...).")
     term
 
 (* --- lex ---------------------------------------------------------------- *)
@@ -312,4 +370,7 @@ let () =
     Cmd.info "costar" ~version:"1.0.0"
       ~doc:"A verified-style ALL(*) parser toolkit (CoStar reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ parse_cmd; check_cmd; lex_cmd; gen_cmd; sample_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; check_cmd; lint_cmd; lex_cmd; gen_cmd; sample_cmd ]))

@@ -1,0 +1,56 @@
+module Loc = Costar_grammar.Loc
+
+type severity =
+  | Error
+  | Warning
+  | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* Ordering weight: errors first. *)
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type t = {
+  code : string;
+  severity : severity;
+  file : string option;
+  span : Loc.span;
+  message : string;
+  notes : string list;
+}
+
+let make ?(severity = Error) ?file ?(span = Loc.dummy) ?(notes = []) code
+    message =
+  { code; severity; file; span; message; notes }
+
+(* Document order within a file, then code for determinism. *)
+let compare a b =
+  let c = Stdlib.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Loc.compare a.span b.span in
+    if c <> 0 then c
+    else
+      let c = String.compare a.code b.code in
+      if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf d =
+  let pp_loc ppf () =
+    match d.file, Loc.is_dummy d.span with
+    | Some f, true -> Fmt.pf ppf "%s: " f
+    | Some f, false ->
+      Fmt.pf ppf "%s:%d:%d: " f d.span.Loc.start_line d.span.Loc.start_col
+    | None, true -> ()
+    | None, false ->
+      Fmt.pf ppf "%d:%d: " d.span.Loc.start_line d.span.Loc.start_col
+  in
+  Fmt.pf ppf "@[<v>%a%s[%s]: %s%a@]" pp_loc ()
+    (severity_to_string d.severity)
+    d.code d.message
+    Fmt.(list ~sep:nop (fun ppf n -> Fmt.pf ppf "@,  note: %s" n))
+    d.notes
+
+let to_string d = Fmt.str "%a" pp d

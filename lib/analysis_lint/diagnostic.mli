@@ -1,0 +1,46 @@
+(** Coded, span-carrying diagnostics.
+
+    A diagnostic pairs a stable code ([G001]..., [L001]...) with a severity,
+    an optional source file and span, a one-line message, and free-form
+    notes (cycle witnesses, related positions).  The code table lives in
+    {!Lint.registry} and is documented in DESIGN.md. *)
+
+module Loc = Costar_grammar.Loc
+
+type severity =
+  | Error  (** the grammar/lexer violates a CoStar precondition *)
+  | Warning  (** almost certainly a mistake, but parsing still works *)
+  | Info  (** informational, e.g. where ALL(star) prediction is forced *)
+
+val severity_to_string : severity -> string
+
+(** [Error] < [Warning] < [Info]. *)
+val severity_rank : severity -> int
+
+type t = {
+  code : string;
+  severity : severity;
+  file : string option;
+  span : Loc.span;  (** {!Loc.dummy} when the construct has no source *)
+  message : string;
+  notes : string list;
+}
+
+val make :
+  ?severity:severity ->
+  ?file:string ->
+  ?span:Loc.span ->
+  ?notes:string list ->
+  string ->
+  string ->
+  t
+
+(** Document order: file, then span, then code — deterministic, so JSON
+    output can be golden-tested. *)
+val compare : t -> t -> int
+
+(** One-line [file:line:col: severity[CODE]: message] rendering, with
+    indented [note:] lines below. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,99 @@
+(* A minimal JSON emitter — just enough for the lint renderer, so the
+   toolkit needs no JSON dependency.  Values are built first-class and
+   printed compactly or indented. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Two-space indented rendering, with small scalar-only structures kept on
+   one line; stable across runs for golden tests. *)
+let to_string v =
+  let buf = Buffer.create 256 in
+  let add = Buffer.add_string buf in
+  let scalar = function
+    | Null | Bool _ | Int _ | String _ -> true
+    | List [] | Obj [] -> true
+    | _ -> false
+  in
+  let rec go indent v =
+    match v with
+    | Null -> add "null"
+    | Bool b -> add (string_of_bool b)
+    | Int i -> add (string_of_int i)
+    | String s ->
+      add "\"";
+      add (escape s);
+      add "\""
+    | List [] -> add "[]"
+    | Obj [] -> add "{}"
+    | List vs when List.for_all scalar vs ->
+      add "[";
+      List.iteri
+        (fun i v ->
+          if i > 0 then add ", ";
+          go indent v)
+        vs;
+      add "]"
+    | Obj fields when List.for_all (fun (_, v) -> scalar v) fields ->
+      add "{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then add ", ";
+          add "\"";
+          add (escape k);
+          add "\": ";
+          go indent v)
+        fields;
+      add "}"
+    | List vs ->
+      let pad = String.make indent ' ' in
+      add "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then add ",\n";
+          add pad;
+          add "  ";
+          go (indent + 2) v)
+        vs;
+      add "\n";
+      add pad;
+      add "]"
+    | Obj fields ->
+      let pad = String.make indent ' ' in
+      add "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then add ",\n";
+          add pad;
+          add "  \"";
+          add (escape k);
+          add "\": ";
+          go (indent + 2) v)
+        fields;
+      add "\n";
+      add pad;
+      add "}"
+  in
+  go 0 v;
+  Buffer.contents buf

@@ -1,0 +1,181 @@
+module D = Diagnostic
+module Loc = Costar_grammar.Loc
+module Grammar = Costar_grammar.Grammar
+module Ast = Costar_ebnf.Ast
+module Desugar = Costar_ebnf.Desugar
+module Spec = Costar_lex.Spec
+
+(* --- Rule registry ------------------------------------------------------ *)
+
+type rule_info = {
+  code : string;
+  default_severity : D.severity;
+  title : string;
+}
+
+let registry =
+  [
+    { code = "G001"; default_severity = D.Warning;
+      title = "unreachable nonterminal" };
+    { code = "G002"; default_severity = D.Warning;
+      title = "unproductive nonterminal (error on the start symbol)" };
+    { code = "G003"; default_severity = D.Error;
+      title = "left recursion (direct, indirect, or hidden), with cycle \
+               witness" };
+    { code = "G004"; default_severity = D.Info;
+      title = "LL(1) FIRST/FIRST conflict: ALL(*) prediction required" };
+    { code = "G005"; default_severity = D.Info;
+      title = "LL(1) FIRST/FOLLOW conflict: ALL(*) prediction required" };
+    { code = "G006"; default_severity = D.Warning;
+      title = "duplicate identical alternatives of one nonterminal" };
+    { code = "G007"; default_severity = D.Error;
+      title = "nullable cycle: the nonterminal derives itself (infinite \
+               ambiguity)" };
+    { code = "G008"; default_severity = D.Error;
+      title = "reference to an undefined nonterminal" };
+    { code = "G009"; default_severity = D.Error;
+      title = "duplicate rule definition" };
+    { code = "G010"; default_severity = D.Error;
+      title = "undefined start symbol / empty grammar" };
+    { code = "L001"; default_severity = D.Error;
+      title = "lexer rule can match the empty string (scanner livelock)" };
+    { code = "L002"; default_severity = D.Warning;
+      title = "lexer rule shadowed by earlier rules (never wins)" };
+    { code = "L003"; default_severity = D.Error;
+      title = "grammar terminal never produced by the lexer" };
+    { code = "L004"; default_severity = D.Warning;
+      title = "lexer rule emits a token kind unknown to the grammar" };
+    { code = "L005"; default_severity = D.Warning;
+      title = "duplicate lexer rule name" };
+  ]
+
+let find_rule code = List.find_opt (fun r -> r.code = code) registry
+
+(* --- Desugar errors as diagnostics -------------------------------------- *)
+
+let of_desugar_error ?file (e : Desugar.error) =
+  match e with
+  | Desugar.Undefined_reference { name; span; in_rule } ->
+    D.make ~severity:D.Error ?file ~span "G008"
+      (Printf.sprintf "rule `%s` references undefined nonterminal `%s`"
+         in_rule name)
+  | Desugar.Duplicate_rule { name; span; prev_span } ->
+    D.make ~severity:D.Error ?file ~span
+      ~notes:
+        (if Loc.is_dummy prev_span then []
+         else [ Printf.sprintf "first defined at %s" (Loc.to_string prev_span) ])
+      "G009"
+      (Printf.sprintf "duplicate rule for `%s`" name)
+  | Desugar.Undefined_start { start } ->
+    D.make ~severity:D.Error ?file "G010"
+      (Printf.sprintf "start symbol `%s` is not defined by any rule" start)
+  | Desugar.Empty_grammar ->
+    D.make ~severity:D.Error ?file "G010" "the grammar has no rules"
+
+(* --- Provenance plumbing ------------------------------------------------ *)
+
+(* Builds the span/description/parent lookups Rules_grammar wants from the
+   desugarer's provenance table. *)
+let grammar_ctx ?file g (prov : Desugar.provenance) =
+  let span_of x =
+    match Desugar.origin_of prov (Grammar.nonterminal_name g x) with
+    | Some o -> Desugar.origin_span o
+    | None -> Loc.dummy
+  in
+  let describe x =
+    match Desugar.origin_of prov (Grammar.nonterminal_name g x) with
+    | Some (Desugar.Synthesized { kind; span; in_rule }) ->
+      Some
+        (Printf.sprintf
+           "`%s` was synthesized for the %s subexpression%s in rule `%s`"
+           (Grammar.nonterminal_name g x)
+           (match kind with
+           | "opt" -> "`?`"
+           | "star" -> "`*`"
+           | "plus" -> "`+`"
+           | _ -> "group")
+           (if Loc.is_dummy span then ""
+            else " at " ^ Loc.to_string span)
+           in_rule)
+    | _ -> None
+  in
+  let synth_parent x =
+    match Desugar.origin_of prov (Grammar.nonterminal_name g x) with
+    | Some (Desugar.Synthesized { in_rule; _ }) ->
+      Grammar.nonterminal_of_name g in_rule
+    | _ -> None
+  in
+  Rules_grammar.make_ctx ?file ~span_of ~describe ~synth_parent g
+
+(* --- Entry points ------------------------------------------------------- *)
+
+(* Lint a prebuilt grammar (no EBNF source, e.g. a built-in language):
+   every grammar rule runs, with dummy spans. *)
+let lint_prebuilt ?file g =
+  List.stable_sort D.compare (Rules_grammar.all (Rules_grammar.make_ctx ?file g))
+
+type input = {
+  rules : Ast.rule list option;  (** EBNF source rules *)
+  start : string option;  (** defaults to the first rule *)
+  grammar_file : string option;
+  prebuilt : Grammar.t option;  (** used when [rules] is [None] *)
+  lexer : Spec.srule list option;
+  lexer_file : string option;
+}
+
+let empty_input =
+  {
+    rules = None;
+    start = None;
+    grammar_file = None;
+    prebuilt = None;
+    lexer = None;
+    lexer_file = None;
+  }
+
+let run input =
+  let file = input.grammar_file in
+  (* Grammar side: desugar (collecting structured errors) or use the
+     prebuilt grammar directly. *)
+  let grammar_diags, g_and_spans =
+    match input.rules with
+    | Some rules ->
+      let start =
+        match input.start with
+        | Some s -> s
+        | None -> (
+          match rules with r :: _ -> r.Ast.name | [] -> "")
+      in
+      (match Desugar.to_grammar_with_provenance ~start rules with
+      | Error errs -> (List.map (of_desugar_error ?file) errs, None)
+      | Ok (g, prov) ->
+        let span_of_name nm =
+          match Desugar.origin_of prov nm with
+          | Some o -> Desugar.origin_span o
+          | None -> Loc.dummy
+        in
+        (Rules_grammar.all (grammar_ctx ?file g prov), Some (g, span_of_name)))
+    | None -> (
+      match input.prebuilt with
+      | Some g ->
+        ( Rules_grammar.all (Rules_grammar.make_ctx ?file g),
+          Some (g, fun _ -> Loc.dummy) )
+      | None -> ([], None))
+  in
+  let lexer_diags =
+    match input.lexer with
+    | None -> []
+    | Some rules ->
+      Rules_lexer.all
+        (Rules_lexer.make_ctx ?file:input.lexer_file ?grammar:g_and_spans
+           ?grammar_file:input.grammar_file rules)
+  in
+  List.stable_sort D.compare (grammar_diags @ lexer_diags)
+
+(* --- Exit-code policy --------------------------------------------------- *)
+
+(* 0 = clean, 1 = more warnings than allowed (default: any), 2 = errors.
+   Info diagnostics never affect the exit code. *)
+let exit_code ?(max_warnings = 0) ds =
+  let errors, warnings, _ = Render.summary_counts ds in
+  if errors > 0 then 2 else if warnings > max_warnings then 1 else 0

@@ -1,0 +1,61 @@
+(** The [costar lint] engine: coded, span-carrying static analysis for
+    grammars and lexer specifications.
+
+    Grammar checks run over the desugared BNF, with diagnostics mapped back
+    to EBNF source spans through {!Costar_ebnf.Desugar} provenance; lexer
+    checks run over {!Costar_lex.Spec} rules.  Codes are stable ([G]* for
+    grammar, [L]* for lexer; see {!registry} and the table in DESIGN.md).
+
+    The motivating paper facts: CoStar's correctness theorems are
+    conditional on the absence of left recursion (§4.1, §8) — [G003]/[G007]
+    check exactly that precondition — and its prediction cost is driven by
+    where SLL decisions need more than one token, which is what the LL(1)
+    conflict diagnostics [G004]/[G005] surface. *)
+
+module D = Diagnostic
+module Loc = Costar_grammar.Loc
+
+(** {1 Rule registry} *)
+
+type rule_info = {
+  code : string;
+  default_severity : D.severity;
+  title : string;
+}
+
+(** All diagnostic codes the engine can emit, in code order. *)
+val registry : rule_info list
+
+val find_rule : string -> rule_info option
+
+(** {1 Entry points} *)
+
+(** Map a structured desugaring failure to its diagnostic
+    ([G008]/[G009]/[G010]). *)
+val of_desugar_error :
+  ?file:string -> Costar_ebnf.Desugar.error -> D.t
+
+(** Lint a prebuilt grammar (no EBNF source available, e.g. a built-in
+    language); spans are {!Loc.dummy}. *)
+val lint_prebuilt : ?file:string -> Costar_grammar.Grammar.t -> D.t list
+
+type input = {
+  rules : Costar_ebnf.Ast.rule list option;  (** EBNF source rules *)
+  start : string option;  (** defaults to the first rule *)
+  grammar_file : string option;
+  prebuilt : Costar_grammar.Grammar.t option;
+      (** used when [rules] is [None] *)
+  lexer : Costar_lex.Spec.srule list option;
+  lexer_file : string option;
+}
+
+val empty_input : input
+
+(** Run every applicable check; the result is sorted in document order
+    (deterministic, ready for golden tests). *)
+val run : input -> D.t list
+
+(** Exit-code policy of the CLI: [2] if any error, [1] if the warning count
+    exceeds [max_warnings] (default [0]), else [0].  Info diagnostics never
+    affect the exit code. *)
+val exit_code : ?max_warnings:int -> D.t list -> int

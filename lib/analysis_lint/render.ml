@@ -1,0 +1,61 @@
+module D = Diagnostic
+module Loc = Costar_grammar.Loc
+
+let count sev ds = List.length (List.filter (fun d -> d.D.severity = sev) ds)
+
+let summary_counts ds =
+  (count D.Error ds, count D.Warning ds, count D.Info ds)
+
+let summary_line ds =
+  let e, w, i = summary_counts ds in
+  let part n what =
+    Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s")
+  in
+  Printf.sprintf "%s, %s, %s" (part e "error") (part w "warning")
+    (part i "info")
+
+let text ?(with_summary = true) ds =
+  let body =
+    String.concat "\n" (List.map Diagnostic.to_string ds)
+  in
+  if not with_summary then body
+  else if ds = [] then "no diagnostics\n"
+  else body ^ "\n" ^ summary_line ds ^ "\n"
+
+let json_of_diag (d : D.t) =
+  let open Json_out in
+  let span =
+    if Loc.is_dummy d.span then Null
+    else
+      Obj
+        [
+          ("start_line", Int d.span.Loc.start_line);
+          ("start_col", Int d.span.Loc.start_col);
+          ("end_line", Int d.span.Loc.end_line);
+          ("end_col", Int d.span.Loc.end_col);
+        ]
+  in
+  Obj
+    ([
+       ("code", String d.code);
+       ("severity", String (D.severity_to_string d.severity));
+     ]
+    @ (match d.file with Some f -> [ ("file", String f) ] | None -> [])
+    @ [
+        ("span", span);
+        ("message", String d.message);
+        ("notes", List (List.map (fun n -> String n) d.notes));
+      ])
+
+let json ds =
+  let e, w, i = summary_counts ds in
+  let open Json_out in
+  to_string
+    (Obj
+       [
+         ("version", Int 1);
+         ("diagnostics", List (List.map json_of_diag ds));
+         ( "summary",
+           Obj [ ("errors", Int e); ("warnings", Int w); ("infos", Int i) ] );
+       ])
+  ^ "\n"

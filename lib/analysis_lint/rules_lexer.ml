@@ -1,0 +1,179 @@
+(* Lexer-spec checks, over the span-carrying rules of Costar_lex.Spec, plus
+   grammar<->lexer consistency when the grammar is also available. *)
+
+open Costar_lex
+module D = Diagnostic
+module Loc = Costar_grammar.Loc
+module G = Costar_grammar.Grammar
+
+type ctx = {
+  rules : Spec.srule list;
+  file : string option;
+  grammar : (G.t * (string -> Loc.span)) option;
+      (* the grammar and a span lookup by nonterminal name, for the
+         consistency checks; the span locates the first production that
+         uses a missing terminal *)
+  grammar_file : string option;
+}
+
+let make_ctx ?file ?grammar ?grammar_file rules =
+  { rules; file; grammar; grammar_file }
+
+let rule_name (sr : Spec.srule) = sr.rule.Scanner.name
+let is_skip (sr : Spec.srule) = sr.rule.Scanner.action = Scanner.Skip
+
+(* L001: a rule whose regex accepts the empty string.  Scanner.make refuses
+   such rules outright — a zero-length match would make the scanner loop
+   forever on the same position — so this is an error, caught here with a
+   span before construction fails. *)
+let empty_match ctx =
+  List.filter_map
+    (fun sr ->
+      if Regex.nullable sr.Spec.rule.Scanner.re then
+        Some
+          (D.make ~severity:D.Error ?file:ctx.file ~span:sr.Spec.pattern_span
+             ~notes:
+               [
+                 "a zero-length match never advances the input, so the \
+                  scanner would loop forever (Scanner.make rejects this \
+                  rule)";
+               ]
+             "L001"
+             (Printf.sprintf "lexer rule `%s` can match the empty string"
+                (rule_name sr)))
+      else None)
+    ctx.rules
+
+(* L002: a rule that can never win.  The scanner resolves every match
+   through the combined DFA, whose accepting states carry the
+   lowest-numbered matching rule (first-rule-wins on equal length); a rule
+   index that appears on no DFA state is dead — every string it matches is
+   claimed by an earlier rule. *)
+let shadowed ctx =
+  match ctx.rules with
+  | [] -> []
+  | rules ->
+    let dfa =
+      Dfa.of_nfa (Nfa.build (List.map (fun sr -> sr.Spec.rule.Scanner.re) rules))
+    in
+    let winners = Hashtbl.create 16 in
+    for s = 0 to Dfa.num_states dfa - 1 do
+      match Dfa.accept dfa s with
+      | Some ix -> Hashtbl.replace winners ix ()
+      | None -> ()
+    done;
+    List.mapi (fun ix sr -> (ix, sr)) rules
+    |> List.filter_map (fun (ix, sr) ->
+           if Hashtbl.mem winners ix then None
+           else
+             Some
+               (D.make ~severity:D.Warning ?file:ctx.file ~span:sr.Spec.span
+                  ~notes:
+                    [
+                      "every string this rule matches is matched by an \
+                       earlier rule of at least the same length, and ties \
+                       go to the earlier rule";
+                    ]
+                  "L002"
+                  (Printf.sprintf
+                     "lexer rule `%s` is shadowed by earlier rules and can \
+                      never produce a token"
+                     (rule_name sr))))
+
+(* L005: two rules with the same name.  Legal (both emit the same kind) but
+   almost always an editing mistake. *)
+let duplicate_names ctx =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun sr ->
+      let nm = rule_name sr in
+      match Hashtbl.find_opt seen nm with
+      | Some (first_span : Loc.span) ->
+        Some
+          (D.make ~severity:D.Warning ?file:ctx.file ~span:sr.Spec.span
+             ~notes:
+               [
+                 Printf.sprintf "first defined at %s"
+                   (Loc.to_string first_span);
+               ]
+             "L005"
+             (Printf.sprintf "duplicate lexer rule name `%s`" nm))
+      | None ->
+        Hashtbl.add seen nm sr.Spec.span;
+        None)
+    ctx.rules
+
+(* L003/L004: grammar<->lexer consistency.  Terminals the grammar needs but
+   the lexer never emits are fatal (those productions can never fire);
+   emitting rules whose kind is not a grammar terminal are dead weight. *)
+let consistency ctx =
+  match ctx.grammar with
+  | None -> []
+  | Some (g, span_of_nt) ->
+    let produced = Hashtbl.create 16 in
+    List.iter
+      (fun sr ->
+        if not (is_skip sr) then Hashtbl.replace produced (rule_name sr) ())
+      ctx.rules;
+    let missing = ref [] in
+    for a = 0 to G.num_terminals g - 1 do
+      let nm = G.terminal_name g a in
+      if not (Hashtbl.mem produced nm) then begin
+        (* Locate the first production whose rhs mentions the terminal, and
+           report at its lhs's span in the grammar file. *)
+        let site =
+          Array.to_list (G.prods g)
+          |> List.find_opt (fun (p : G.production) ->
+                 List.exists
+                   (function
+                     | Costar_grammar.Symbols.T b -> b = a
+                     | Costar_grammar.Symbols.NT _ -> false)
+                   p.rhs)
+        in
+        let span, where =
+          match site with
+          | Some p ->
+            let lhs_name = G.nonterminal_name g p.lhs in
+            ( span_of_nt lhs_name,
+              Printf.sprintf " (used in rule `%s`)" lhs_name )
+          | None -> (Loc.dummy, "")
+        in
+        missing :=
+          D.make ~severity:D.Error ?file:ctx.grammar_file ~span
+            ~notes:
+              [
+                "inputs requiring this terminal can never be tokenized, so \
+                 the productions mentioning it are unusable";
+              ]
+            "L003"
+            (Printf.sprintf
+               "terminal '%s' of the grammar is never produced by the lexer%s"
+               nm where)
+          :: !missing
+      end
+    done;
+    let dead =
+      List.filter_map
+        (fun sr ->
+          let nm = rule_name sr in
+          if is_skip sr || G.terminal_of_name g nm <> None then None
+          else
+            Some
+              (D.make ~severity:D.Warning ?file:ctx.file ~span:sr.Spec.span
+                 ~notes:
+                   [
+                     "tokens of this kind make every input containing them \
+                      unparseable; mark the rule `skip` or add the terminal \
+                      to the grammar";
+                   ]
+                 "L004"
+                 (Printf.sprintf
+                    "lexer rule `%s` produces a token kind that is not a \
+                     terminal of the grammar"
+                    nm)))
+        ctx.rules
+    in
+    List.rev !missing @ dead
+
+let all ctx =
+  empty_match ctx @ shadowed ctx @ duplicate_names ctx @ consistency ctx

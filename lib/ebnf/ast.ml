@@ -2,9 +2,21 @@
 
     This is the input language of the grammar-conversion tool (paper, §6.1):
     rules may use alternation, grouping, and the [? * +] postfix operators,
-    which {!Desugar} lowers to plain BNF. *)
+    which {!Desugar} lowers to plain BNF.
 
-type exp =
+    Every node carries a {!Costar_grammar.Loc.span} so downstream passes
+    (desugaring, {!Costar_lint}) can report diagnostics against the original
+    source text.  Combinator-built ASTs get {!Costar_grammar.Loc.dummy}
+    spans; the textual parser fills in real positions. *)
+
+module Loc = Costar_grammar.Loc
+
+type exp = {
+  desc : desc;
+  span : Loc.span;
+}
+
+and desc =
   | Ref of string  (** nonterminal reference *)
   | Tok of string  (** named token kind, e.g. [STRING] *)
   | Lit of string  (** literal terminal, e.g. ['{'] *)
@@ -17,23 +29,43 @@ type exp =
 type rule = {
   name : string;
   body : exp;
+  span : Loc.span;  (** span of the rule name at its definition site *)
 }
 
 (** {1 Combinator-style builders} *)
 
-let r name = Ref name
-let tok name = Tok name
-let lit s = Lit s
-let seq es = Seq es
-let alt es = Alt es
-let opt e = Opt e
-let star e = Star e
-let plus e = Plus e
-let eps = Seq []
+let mk ?(span = Loc.dummy) desc = { desc; span }
 
-let rule name body = { name; body }
+let r name = mk (Ref name)
+let tok name = mk (Tok name)
+let lit s = mk (Lit s)
+let seq es = mk (Seq es)
+let alt es = mk (Alt es)
+let opt e = mk (Opt e)
+let star e = mk (Star e)
+let plus e = mk (Plus e)
+let eps = seq []
 
-let rec pp_exp ppf = function
+let rule ?(span = Loc.dummy) name body = { name; body; span }
+
+(** [with_span e span] repositions the root node only. *)
+let with_span (e : exp) span = { e with span }
+
+(** [strip e] erases every span, giving the structural skeleton; two
+    occurrences of the same subexpression compare and hash equal after
+    stripping, which is what {!Desugar}'s sharing table keys on. *)
+let rec strip e = { desc = strip_desc e.desc; span = Loc.dummy }
+
+and strip_desc = function
+  | (Ref _ | Tok _ | Lit _) as d -> d
+  | Seq es -> Seq (List.map strip es)
+  | Alt es -> Alt (List.map strip es)
+  | Opt e -> Opt (strip e)
+  | Star e -> Star (strip e)
+  | Plus e -> Plus (strip e)
+
+let rec pp_exp ppf e =
+  match e.desc with
   | Ref s -> Fmt.string ppf s
   | Tok s -> Fmt.string ppf s
   | Lit s -> Fmt.pf ppf "'%s'" s

@@ -1,28 +1,74 @@
 open Ast
 module G = Costar_grammar.Grammar
+module Loc = Costar_grammar.Loc
 
-(* Synthesized-rule table: structural subexpression -> fresh nonterminal
-   name, plus the list of synthesized rules in creation order. *)
+type error =
+  | Undefined_reference of { name : string; span : Loc.span; in_rule : string }
+  | Duplicate_rule of { name : string; span : Loc.span; prev_span : Loc.span }
+  | Undefined_start of { start : string }
+  | Empty_grammar
+
+let error_message = function
+  | Undefined_reference { name; span; in_rule } ->
+    if Loc.is_dummy span then
+      Printf.sprintf "rule %s references undefined nonterminal %s" in_rule name
+    else
+      Printf.sprintf "%s: rule %s references undefined nonterminal %s"
+        (Loc.to_string span) in_rule name
+  | Duplicate_rule { name; span; prev_span } ->
+    if Loc.is_dummy span then Printf.sprintf "duplicate rule for %s" name
+    else
+      Printf.sprintf "%s: duplicate rule for %s (first defined at %s)"
+        (Loc.to_string span) name
+        (Loc.to_string prev_span)
+  | Undefined_start { start } ->
+    Printf.sprintf "undefined start symbol %s" start
+  | Empty_grammar -> "empty grammar"
+
+let error_messages errs = String.concat "; " (List.map error_message errs)
+
+type origin =
+  | User of Loc.span
+  | Synthesized of { kind : string; span : Loc.span; in_rule : string }
+
+type provenance = (string * origin) list
+
+let origin_of prov name = List.assoc_opt name prov
+
+let origin_span = function
+  | User span -> span
+  | Synthesized { span; _ } -> span
+
+(* Synthesized-rule table: structural subexpression (spans stripped, see
+   [Ast.strip]) -> fresh nonterminal name, plus the list of synthesized
+   rules in creation order and the origin of each fresh name. *)
 type st = {
   tbl : (exp, string) Hashtbl.t;
   mutable synthesized : (string * G.elt list list) list;
+  mutable origins : (string * origin) list;
   mutable counter : int;
+  mutable cur_rule : string;  (* user rule being lowered, for provenance *)
+  taken : (string, unit) Hashtbl.t;  (* user rule names, to keep fresh fresh *)
 }
 
 let fresh st prefix =
-  st.counter <- st.counter + 1;
-  Printf.sprintf "%s__%d" prefix st.counter
+  let rec next () =
+    st.counter <- st.counter + 1;
+    let name = Printf.sprintf "%s__%d" prefix st.counter in
+    if Hashtbl.mem st.taken name then next () else name
+  in
+  next ()
 
-(* An alternative is a list of grammar elements.  [flatten_alts] turns an
+(* An alternative is a list of grammar elements.  [alternatives] turns an
    expression into its top-level alternatives; atoms inside an alternative
    that are not plain symbols are delegated to synthesized nonterminals. *)
 let rec alternatives st (e : exp) : G.elt list list =
-  match e with
+  match e.desc with
   | Alt es -> List.concat_map (alternatives st) es
   | _ -> [ elems st e ]
 
 and elems st (e : exp) : G.elt list =
-  match e with
+  match e.desc with
   | Seq es -> List.concat_map (elems st) es
   | Ref name -> [ G.n name ]
   | Tok name -> [ G.t name ]
@@ -30,20 +76,24 @@ and elems st (e : exp) : G.elt list =
   | Alt _ | Opt _ | Star _ | Plus _ -> [ G.n (synthesize st e) ]
 
 and synthesize st e =
-  match Hashtbl.find_opt st.tbl e with
+  let key = strip e in
+  match Hashtbl.find_opt st.tbl key with
   | Some name -> name
   | None ->
     let kind =
-      match e with
+      match e.desc with
       | Opt _ -> "opt"
       | Star _ -> "star"
       | Plus _ -> "plus"
       | _ -> "grp"
     in
     let name = fresh st kind in
-    Hashtbl.add st.tbl e name;
+    Hashtbl.add st.tbl key name;
+    st.origins <-
+      (name, Synthesized { kind; span = e.span; in_rule = st.cur_rule })
+      :: st.origins;
     let alts =
-      match e with
+      match e.desc with
       | Opt inner -> [ [] ] @ alternatives st inner
       | Star inner ->
         (* name -> eps | inner name  (right recursion) *)
@@ -53,20 +103,86 @@ and synthesize st e =
         (* name -> inner star(inner): the loop-continuation decision then
            lives in the star nonterminal and needs one token (enter vs
            follow), instead of a scan of a whole extra [inner] as the
-           naive [inner | inner name] expansion would require. *)
-        let star_name = synthesize st (Star inner) in
+           naive [inner | inner name] expansion would require.  The
+           derived star inherits the plus's span for provenance. *)
+        let star_name =
+          synthesize st { desc = Star inner; span = e.span }
+        in
         let inner_alts = alternatives st inner in
         List.map (fun alt -> alt @ [ G.n star_name ]) inner_alts
-      | other -> alternatives st other
+      | other -> alternatives st { e with desc = other }
     in
     st.synthesized <- (name, alts) :: st.synthesized;
     name
 
+(* Static validation, before any lowering: every error is collected (in
+   source order) rather than stopping at the first, so a lint pass can
+   report them all at once. *)
+let validate ~start rules =
+  let errs = ref [] in
+  let seen = Hashtbl.create 16 in
+  if rules = [] then errs := [ Empty_grammar ]
+  else begin
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt seen r.name with
+        | Some prev_span ->
+          errs :=
+            Duplicate_rule { name = r.name; span = r.span; prev_span }
+            :: !errs
+        | None -> Hashtbl.add seen r.name r.span)
+      rules;
+    let rec walk in_rule e =
+      match e.desc with
+      | Ref name ->
+        if not (Hashtbl.mem seen name) then
+          errs :=
+            Undefined_reference { name; span = e.span; in_rule } :: !errs
+      | Tok _ | Lit _ -> ()
+      | Seq es | Alt es -> List.iter (walk in_rule) es
+      | Opt e | Star e | Plus e -> walk in_rule e
+    in
+    List.iter (fun r -> walk r.name r.body) rules;
+    if not (Hashtbl.mem seen start) then
+      errs := Undefined_start { start } :: !errs
+  end;
+  List.rev !errs
+
+let to_grammar_with_provenance ?extra_terminals ~start rules =
+  match validate ~start rules with
+  | _ :: _ as errs -> Error errs
+  | [] ->
+    let taken = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.replace taken r.name ()) rules;
+    let st =
+      {
+        tbl = Hashtbl.create 64;
+        synthesized = [];
+        origins = [];
+        counter = 0;
+        cur_rule = "";
+        taken;
+      }
+    in
+    let main =
+      List.map
+        (fun rule ->
+          st.cur_rule <- rule.name;
+          (rule.name, alternatives st rule.body))
+        rules
+    in
+    (* Synthesized rules are appended after user rules, in creation order, so
+       production indices of user rules match the source. *)
+    let g = G.define ?extra_terminals ~start (main @ List.rev st.synthesized) in
+    let prov =
+      List.map (fun r -> (r.name, User r.span)) rules @ List.rev st.origins
+    in
+    Ok (g, prov)
+
 let to_grammar ?extra_terminals ~start rules =
-  let st = { tbl = Hashtbl.create 64; synthesized = []; counter = 0 } in
-  let main =
-    List.map (fun rule -> (rule.name, alternatives st rule.body)) rules
-  in
-  (* Synthesized rules are appended after user rules, in creation order, so
-     production indices of user rules match the source. *)
-  G.define ?extra_terminals ~start (main @ List.rev st.synthesized)
+  Result.map fst (to_grammar_with_provenance ?extra_terminals ~start rules)
+
+let to_grammar_exn ?extra_terminals ~start rules =
+  match to_grammar ?extra_terminals ~start rules with
+  | Ok g -> g
+  | Error errs -> invalid_arg ("Desugar.to_grammar: " ^ error_messages errs)

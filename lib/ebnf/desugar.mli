@@ -14,11 +14,62 @@
 
     Structurally identical subexpressions share one synthesized nonterminal,
     keeping the desugared grammar compact (and the Fig. 8 statistics
-    honest). *)
+    honest).
 
-(** [to_grammar ~start rules] lowers and builds the grammar.
-    @raise Invalid_argument on undefined references or duplicate rules. *)
+    Malformed inputs (undefined references, duplicate rules, undefined start
+    symbol) are reported as structured, span-carrying {!error} values — all
+    of them, in source order — instead of an exception on the first. *)
+
+module Loc = Costar_grammar.Loc
+
+(** Structured desugaring failures.  Spans point into the textual grammar
+    source when the rules came from {!Parse}; combinator-built rules carry
+    {!Loc.dummy} spans. *)
+type error =
+  | Undefined_reference of { name : string; span : Loc.span; in_rule : string }
+  | Duplicate_rule of { name : string; span : Loc.span; prev_span : Loc.span }
+  | Undefined_start of { start : string }
+  | Empty_grammar
+
+val error_message : error -> string
+
+(** All messages, ["; "]-separated. *)
+val error_messages : error list -> string
+
+(** Where a nonterminal of the desugared grammar came from: a user rule
+    (span of its name at the definition site), or a synthesized rule for a
+    [? * +] or group subexpression (kind, span of that subexpression, and
+    the user rule it first occurred in). *)
+type origin =
+  | User of Loc.span
+  | Synthesized of { kind : string; span : Loc.span; in_rule : string }
+
+type provenance = (string * origin) list
+
+val origin_of : provenance -> string -> origin option
+
+val origin_span : origin -> Loc.span
+
+(** [to_grammar ~start rules] lowers and builds the grammar, or reports
+    every validation error. *)
 val to_grammar :
+  ?extra_terminals:string list ->
+  start:string ->
+  Ast.rule list ->
+  (Costar_grammar.Grammar.t, error list) result
+
+(** Like {!to_grammar} but also returns the nonterminal provenance table,
+    which {!Costar_lint} uses to map diagnostics on synthesized
+    nonterminals back to their EBNF source spans. *)
+val to_grammar_with_provenance :
+  ?extra_terminals:string list ->
+  start:string ->
+  Ast.rule list ->
+  (Costar_grammar.Grammar.t * provenance, error list) result
+
+(** Convenience for tests and trusted inputs.
+    @raise Invalid_argument on any validation error. *)
+val to_grammar_exn :
   ?extra_terminals:string list ->
   start:string ->
   Ast.rule list ->

@@ -1,6 +1,12 @@
 (* A hand-written lexer and recursive-descent parser for the textual EBNF
    format.  (CoStar itself could parse this, but the grammar toolchain must
-   not depend on the parser it feeds.) *)
+   not depend on the parser it feeds.)
+
+   Every token carries a source span, which the parser threads into the AST
+   so diagnostics (Desugar errors, Costar_lint) can point at the offending
+   grammar text. *)
+
+module Loc = Costar_grammar.Loc
 
 type tok =
   | Ident of string
@@ -32,11 +38,25 @@ exception Syntax_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Syntax_error s)) fmt
 
+(* The lexer keeps [bol] (index of the current line start) so columns are
+   1-based offsets into the line. *)
 let lex input =
   let n = String.length input in
   let toks = ref [] in
   let line = ref 1 in
+  let bol = ref 0 in
   let i = ref 0 in
+  let col () = !i - !bol + 1 in
+  let newline () =
+    incr line;
+    bol := !i
+  in
+  let emit ~start_line ~start_col t =
+    let span =
+      Loc.make ~start_line ~start_col ~end_line:!line ~end_col:(col () - 1)
+    in
+    toks := (t, span) :: !toks
+  in
   let is_ident_char c =
     (c >= 'a' && c <= 'z')
     || (c >= 'A' && c <= 'Z')
@@ -45,9 +65,10 @@ let lex input =
   in
   while !i < n do
     let c = input.[!i] in
+    let start_line = !line and start_col = col () in
     if c = '\n' then begin
-      incr line;
-      incr i
+      incr i;
+      newline ()
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '/' && !i + 1 < n && input.[!i + 1] = '/' then begin
@@ -59,12 +80,17 @@ let lex input =
       i := !i + 2;
       let closed = ref false in
       while (not !closed) && !i < n do
-        if input.[!i] = '\n' then incr line;
         if !i + 1 < n && input.[!i] = '*' && input.[!i + 1] = '/' then begin
           i := !i + 2;
           closed := true
         end
-        else incr i
+        else begin
+          if input.[!i] = '\n' then begin
+            incr i;
+            newline ()
+          end
+          else incr i
+        end
       done;
       if not !closed then fail "line %d: unterminated block comment" !line
     end
@@ -86,50 +112,65 @@ let lex input =
           i := !i + 2
         end
         else begin
-          Buffer.add_char buf input.[!i];
-          incr i
+          if input.[!i] = '\n' then begin
+            Buffer.add_char buf '\n';
+            incr i;
+            newline ()
+          end
+          else begin
+            Buffer.add_char buf input.[!i];
+            incr i
+          end
         end
       done;
       if not !closed then fail "line %d: unterminated literal" !line;
       if Buffer.length buf = 0 then fail "line %d: empty literal" !line;
-      toks := Literal (Buffer.contents buf) :: !toks
+      emit ~start_line ~start_col (Literal (Buffer.contents buf))
     end
     else if is_ident_char c then begin
       let start = !i in
       while !i < n && is_ident_char input.[!i] do
         incr i
       done;
-      toks := Ident (String.sub input start (!i - start)) :: !toks
+      emit ~start_line ~start_col (Ident (String.sub input start (!i - start)))
     end
     else begin
       (match c with
-      | ':' -> toks := Colon :: !toks
-      | ';' -> toks := Semi :: !toks
-      | '|' -> toks := Bar :: !toks
-      | '(' -> toks := Lparen :: !toks
-      | ')' -> toks := Rparen :: !toks
-      | '?' -> toks := Quest :: !toks
-      | '*' -> toks := Aster :: !toks
-      | '+' -> toks := Plus_t :: !toks
-      | _ -> fail "line %d: unexpected character %C" !line c);
-      incr i
+      | ':' -> incr i; emit ~start_line ~start_col Colon
+      | ';' -> incr i; emit ~start_line ~start_col Semi
+      | '|' -> incr i; emit ~start_line ~start_col Bar
+      | '(' -> incr i; emit ~start_line ~start_col Lparen
+      | ')' -> incr i; emit ~start_line ~start_col Rparen
+      | '?' -> incr i; emit ~start_line ~start_col Quest
+      | '*' -> incr i; emit ~start_line ~start_col Aster
+      | '+' -> incr i; emit ~start_line ~start_col Plus_t
+      | _ -> fail "line %d: unexpected character %C" !line c)
     end
   done;
-  List.rev (Eof :: !toks)
+  let eof_span = Loc.point !line (col ()) in
+  List.rev ((Eof, eof_span) :: !toks)
 
-(* Recursive descent over the token list. *)
-type stream = { mutable toks : tok list }
+(* Recursive descent over the spanned token list. *)
+type stream = { mutable toks : (tok * Loc.span) list }
 
-let peek s = match s.toks with [] -> Eof | t :: _ -> t
+let peek s = match s.toks with [] -> Eof | (t, _) :: _ -> t
+let peek_span s = match s.toks with [] -> Loc.dummy | (_, sp) :: _ -> sp
 
 let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
 
 let expect s t =
   if peek s = t then advance s
-  else fail "expected %s but found %s" (tok_to_string t) (tok_to_string (peek s))
+  else
+    fail "line %d: expected %s but found %s" (peek_span s).Loc.start_line
+      (tok_to_string t)
+      (tok_to_string (peek s))
 
 let is_upper_ident name =
   name <> "" && name.[0] >= 'A' && name.[0] <= 'Z'
+
+(* The span of a compound node covers all its children. *)
+let exp_list_span (es : Ast.exp list) =
+  List.fold_left (fun acc (e : Ast.exp) -> Loc.join acc e.Ast.span) Loc.dummy es
 
 let rec parse_alts s =
   let first = parse_seq s in
@@ -140,43 +181,64 @@ let rec parse_alts s =
     end
     else List.rev acc
   in
-  match more [ first ] with [ single ] -> single | alts -> Ast.Alt alts
+  match more [ first ] with
+  | [ single ] -> single
+  | alts -> Ast.mk ~span:(exp_list_span alts) (Ast.Alt alts)
 
 and parse_seq s =
+  let start_span = peek_span s in
   let rec items acc =
     match peek s with
     | Ident _ | Literal _ | Lparen -> items (parse_item s :: acc)
     | _ -> List.rev acc
   in
-  match items [] with [ single ] -> single | es -> Ast.Seq es
+  match items [] with
+  | [ single ] -> single
+  | [] ->
+    (* Epsilon: a point span at the position where the alternative would
+       have started (e.g. just after '|' or ':'). *)
+    Ast.mk
+      ~span:(Loc.point start_span.Loc.start_line start_span.Loc.start_col)
+      (Ast.Seq [])
+  | es -> Ast.mk ~span:(exp_list_span es) (Ast.Seq es)
 
 and parse_item s =
   let atom =
     match peek s with
     | Ident name ->
+      let span = peek_span s in
       advance s;
-      if is_upper_ident name then Ast.Tok name else Ast.Ref name
+      Ast.mk ~span (if is_upper_ident name then Ast.Tok name else Ast.Ref name)
     | Literal lit ->
+      let span = peek_span s in
       advance s;
-      Ast.Lit lit
+      Ast.mk ~span (Ast.Lit lit)
     | Lparen ->
+      let lspan = peek_span s in
       advance s;
       let inner = parse_alts s in
+      let rspan = peek_span s in
       expect s Rparen;
-      inner
-    | t -> fail "expected an atom but found %s" (tok_to_string t)
+      (* Reposition the group to include the parentheses. *)
+      Ast.with_span inner (Loc.join lspan rspan)
+    | t ->
+      fail "line %d: expected an atom but found %s"
+        (peek_span s).Loc.start_line (tok_to_string t)
   in
-  let rec postfix e =
+  let rec postfix (e : Ast.exp) =
     match peek s with
     | Quest ->
+      let span = Loc.join e.Ast.span (peek_span s) in
       advance s;
-      postfix (Ast.Opt e)
+      postfix (Ast.mk ~span (Ast.Opt e))
     | Aster ->
+      let span = Loc.join e.Ast.span (peek_span s) in
       advance s;
-      postfix (Ast.Star e)
+      postfix (Ast.mk ~span (Ast.Star e))
     | Plus_t ->
+      let span = Loc.join e.Ast.span (peek_span s) in
       advance s;
-      postfix (Ast.Plus e)
+      postfix (Ast.mk ~span (Ast.Plus e))
     | _ -> e
   in
   postfix atom
@@ -186,12 +248,15 @@ let parse_rule s =
      [resolve_refs] below); only *references* default by case. *)
   match peek s with
   | Ident name ->
+    let span = peek_span s in
     advance s;
     expect s Colon;
     let body = parse_alts s in
     expect s Semi;
-    Ast.rule name body
-  | t -> fail "expected a rule name but found %s" (tok_to_string t)
+    Ast.rule ~span name body
+  | t ->
+    fail "line %d: expected a rule name but found %s"
+      (peek_span s).Loc.start_line (tok_to_string t)
 
 (* Identifier case decides token-vs-nonterminal at parse time, but an
    uppercase identifier that names a rule is unambiguously a nonterminal
@@ -199,14 +264,18 @@ let parse_rule s =
    output of [Print.grammar_to_string]) round-trip. *)
 let resolve_refs rules =
   let rule_names = List.map (fun r -> r.Ast.name) rules in
-  let rec fix = function
-    | Ast.Tok name when List.mem name rule_names -> Ast.Ref name
-    | (Ast.Tok _ | Ast.Ref _ | Ast.Lit _) as e -> e
-    | Ast.Seq es -> Ast.Seq (List.map fix es)
-    | Ast.Alt es -> Ast.Alt (List.map fix es)
-    | Ast.Opt e -> Ast.Opt (fix e)
-    | Ast.Star e -> Ast.Star (fix e)
-    | Ast.Plus e -> Ast.Plus (fix e)
+  let rec fix e =
+    let desc =
+      match e.Ast.desc with
+      | Ast.Tok name when List.mem name rule_names -> Ast.Ref name
+      | (Ast.Tok _ | Ast.Ref _ | Ast.Lit _) as d -> d
+      | Ast.Seq es -> Ast.Seq (List.map fix es)
+      | Ast.Alt es -> Ast.Alt (List.map fix es)
+      | Ast.Opt e -> Ast.Opt (fix e)
+      | Ast.Star e -> Ast.Star (fix e)
+      | Ast.Plus e -> Ast.Plus (fix e)
+    in
+    { e with Ast.desc }
   in
   List.map (fun r -> { r with Ast.body = fix r.Ast.body }) rules
 
@@ -230,5 +299,5 @@ let grammar_of_string ?extra_terminals ?start input =
       match start with Some s -> s | None -> (List.hd rules).Ast.name
     in
     match Desugar.to_grammar ?extra_terminals ~start rules with
-    | g -> Ok g
-    | exception Invalid_argument msg -> Error msg)
+    | Ok g -> Ok g
+    | Error errs -> Error (Desugar.error_messages errs))

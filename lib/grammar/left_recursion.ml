@@ -17,6 +17,32 @@ let left_edges g a =
     (Grammar.prods g);
   edges
 
+type edge = {
+  dst : nonterminal;
+  prod : int;  (** production index the edge comes from *)
+  hidden : bool;  (** a nonempty nullable prefix precedes [dst] *)
+}
+
+(* Labelled variant of [left_edges]: remembers which production and whether
+   the reached nonterminal sits behind a nullable prefix (hidden left
+   recursion, the case one-token-lookahead transformations miss). *)
+let left_edges_labeled g a =
+  let n = Grammar.num_nonterminals g in
+  let edges = Array.make n [] in
+  Array.iter
+    (fun p ->
+      let rec go pos = function
+        | [] -> ()
+        | T _ :: _ -> ()
+        | NT y :: rest ->
+          let e = { dst = y; prod = p.Grammar.ix; hidden = pos > 0 } in
+          edges.(p.Grammar.lhs) <- e :: edges.(p.Grammar.lhs);
+          if Analysis.nullable a y then go (pos + 1) rest
+      in
+      go 0 p.rhs)
+    (Grammar.prods g);
+  Array.map List.rev edges
+
 let left_recursive_nts g a =
   let n = Grammar.num_nonterminals g in
   let edges = left_edges g a in
@@ -40,6 +66,70 @@ let left_recursive_nts g a =
   !acc
 
 let is_left_recursive g a x = Int_set.mem x (left_recursive_nts g a)
+
+type kind =
+  | Direct
+  | Indirect
+  | Hidden
+
+let kind_to_string = function
+  | Direct -> "direct"
+  | Indirect -> "indirect"
+  | Hidden -> "hidden"
+
+(* Shortest left-edge cycle through [x], by BFS with parent pointers.  The
+   result lists the nonterminals visited, starting and ending at [x], and
+   classifies the cycle: Hidden if any edge on it crosses a nullable
+   prefix, Direct for a self-loop, Indirect otherwise. *)
+let witness g a x =
+  let n = Grammar.num_nonterminals g in
+  let edges = left_edges_labeled g a in
+  let parent = Array.make n None in
+  let visited = Array.make n false in
+  let q = Queue.create () in
+  let closing = ref None in
+  List.iter
+    (fun e ->
+      if !closing = None then
+        if e.dst = x then closing := Some (x, e)
+        else if not visited.(e.dst) then begin
+          visited.(e.dst) <- true;
+          parent.(e.dst) <- Some (x, e);
+          Queue.add e.dst q
+        end)
+    edges.(x);
+  while !closing = None && not (Queue.is_empty q) do
+    let y = Queue.pop q in
+    List.iter
+      (fun e ->
+        if !closing = None then
+          if e.dst = x then closing := Some (y, e)
+          else if not visited.(e.dst) then begin
+            visited.(e.dst) <- true;
+            parent.(e.dst) <- Some (y, e);
+            Queue.add e.dst q
+          end)
+      edges.(y)
+  done;
+  match !closing with
+  | None -> None
+  | Some (last, closing_edge) ->
+    (* Walk parents back from [last] to [x]. *)
+    let rec unwind y acc_nts acc_edges =
+      if y = x then (acc_nts, acc_edges)
+      else
+        match parent.(y) with
+        | Some (py, e) -> unwind py (y :: acc_nts) (e :: acc_edges)
+        | None -> assert false
+    in
+    let mids, edges_on_path = unwind last [] [ closing_edge ] in
+    let cycle = (x :: mids) @ [ x ] in
+    let kind =
+      if List.exists (fun e -> e.hidden) edges_on_path then Hidden
+      else if List.length edges_on_path = 1 then Direct
+      else Indirect
+    in
+    Some (kind, cycle)
 
 let check g =
   let a = Analysis.make g in

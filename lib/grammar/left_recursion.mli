@@ -11,6 +11,34 @@ open Symbols
 (** Nonterminals that lie on a left-recursive cycle. *)
 val left_recursive_nts : Grammar.t -> Analysis.t -> Int_set.t
 
+(** A left edge [x -> dst], labelled with the production it comes from and
+    whether [dst] sits behind a nonempty nullable prefix (hidden left
+    recursion). *)
+type edge = {
+  dst : nonterminal;
+  prod : int;
+  hidden : bool;
+}
+
+(** Labelled left-edge adjacency, indexed by source nonterminal. *)
+val left_edges_labeled : Grammar.t -> Analysis.t -> edge list array
+
+(** How a left-recursive cycle recurses: a self-loop ([Direct]), through
+    other nonterminals ([Indirect]), or behind a nullable prefix
+    ([Hidden]). *)
+type kind =
+  | Direct
+  | Indirect
+  | Hidden
+
+val kind_to_string : kind -> string
+
+(** [witness g a x] is a shortest left-edge cycle through [x], as the list
+    of nonterminals starting and ending at [x] (so a self-loop is [[x; x]]),
+    or [None] if [x] is not left-recursive. *)
+val witness :
+  Grammar.t -> Analysis.t -> nonterminal -> (kind * nonterminal list) option
+
 (** [is_left_recursive g a x]: does [x] lie on a left-recursive cycle? *)
 val is_left_recursive : Grammar.t -> Analysis.t -> nonterminal -> bool
 

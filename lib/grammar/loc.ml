@@ -1,0 +1,47 @@
+type span = {
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;
+}
+
+let dummy = { start_line = 0; start_col = 0; end_line = 0; end_col = 0 }
+let is_dummy s = s = dummy
+
+let make ~start_line ~start_col ~end_line ~end_col =
+  { start_line; start_col; end_line; end_col }
+
+let point line col =
+  { start_line = line; start_col = col; end_line = line; end_col = col }
+
+let join a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else
+    let sl, sc =
+      if
+        a.start_line < b.start_line
+        || (a.start_line = b.start_line && a.start_col <= b.start_col)
+      then a.start_line, a.start_col
+      else b.start_line, b.start_col
+    in
+    let el, ec =
+      if
+        a.end_line > b.end_line
+        || (a.end_line = b.end_line && a.end_col >= b.end_col)
+      then a.end_line, a.end_col
+      else b.end_line, b.end_col
+    in
+    { start_line = sl; start_col = sc; end_line = el; end_col = ec }
+
+let compare (a : span) (b : span) = Stdlib.compare a b
+
+let pp ppf s =
+  if is_dummy s then Fmt.string ppf "-"
+  else if s.start_line = s.end_line && s.start_col = s.end_col then
+    Fmt.pf ppf "%d:%d" s.start_line s.start_col
+  else if s.start_line = s.end_line then
+    Fmt.pf ppf "%d:%d-%d" s.start_line s.start_col s.end_col
+  else Fmt.pf ppf "%d:%d-%d:%d" s.start_line s.start_col s.end_line s.end_col
+
+let to_string s = Fmt.str "%a" pp s

@@ -1,0 +1,36 @@
+(** Source spans for diagnostics.
+
+    Lines and columns are 1-based; a span covers the half-open character
+    range from [start] to just past [end].  The {!dummy} span marks
+    synthetic constructs with no source position (combinator-built ASTs,
+    generated rules); renderers print it as ["-"]. *)
+
+type span = {
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;
+}
+
+(** The all-zero span of position-less constructs. *)
+val dummy : span
+
+val is_dummy : span -> bool
+
+val make :
+  start_line:int -> start_col:int -> end_line:int -> end_col:int -> span
+
+(** A single-position span. *)
+val point : int -> int -> span
+
+(** Smallest span covering both arguments; joining with {!dummy} is the
+    identity, so combinator-built nodes never pollute real positions. *)
+val join : span -> span -> span
+
+(** Document order: by start position, then end position. *)
+val compare : span -> span -> int
+
+(** Renders as [line:col], [line:col-col], or [line:col-line:col]. *)
+val pp : Format.formatter -> span -> unit
+
+val to_string : span -> string

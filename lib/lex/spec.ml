@@ -1,3 +1,5 @@
+module Loc = Costar_grammar.Loc
+
 exception Err of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
@@ -14,15 +16,25 @@ let lex input =
   let n = String.length input in
   let toks = ref [] in
   let line = ref 1 in
+  let bol = ref 0 in
   let i = ref 0 in
+  let col () = !i - !bol + 1 in
+  let emit ~start_line ~start_col t =
+    let span =
+      Loc.make ~start_line ~start_col ~end_line:!line ~end_col:(col () - 1)
+    in
+    toks := (t, span) :: !toks
+  in
   let is_ident c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
   in
   while !i < n do
     let c = input.[!i] in
+    let start_line = !line and start_col = col () in
     if c = '\n' then begin
+      incr i;
       incr line;
-      incr i
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '/' && !i + 1 < n && input.[!i + 1] = '/' then
@@ -30,12 +42,12 @@ let lex input =
         incr i
       done
     else if c = ':' then begin
-      toks := Colon :: !toks;
-      incr i
+      incr i;
+      emit ~start_line ~start_col Colon
     end
     else if c = ';' then begin
-      toks := Semi :: !toks;
-      incr i
+      incr i;
+      emit ~start_line ~start_col Semi
     end
     else if c = '"' then begin
       (* Raw pattern: everything up to the closing unescaped quote, with
@@ -55,12 +67,20 @@ let lex input =
           i := !i + 2
         end
         else begin
-          Buffer.add_char buf input.[!i];
-          incr i
+          if input.[!i] = '\n' then begin
+            incr i;
+            incr line;
+            bol := !i;
+            Buffer.add_char buf '\n'
+          end
+          else begin
+            Buffer.add_char buf input.[!i];
+            incr i
+          end
         end
       done;
       if not !closed then fail "line %d: unterminated pattern" !line;
-      toks := Pattern (Buffer.contents buf) :: !toks
+      emit ~start_line ~start_col (Pattern (Buffer.contents buf))
     end
     else if c = '\'' then begin
       let buf = Buffer.create 4 in
@@ -84,7 +104,7 @@ let lex input =
         end
       done;
       if not !closed then fail "line %d: unterminated name literal" !line;
-      toks := Name (Buffer.contents buf) :: !toks
+      emit ~start_line ~start_col (Name (Buffer.contents buf))
     end
     else if is_ident c then begin
       let start = !i in
@@ -92,16 +112,25 @@ let lex input =
         incr i
       done;
       let word = String.sub input start (!i - start) in
-      toks := (if word = "skip" then Skip_kw else Name word) :: !toks
+      emit ~start_line ~start_col (if word = "skip" then Skip_kw else Name word)
     end
     else fail "line %d: unexpected character %C" !line c
   done;
-  List.rev (Eof :: !toks)
+  List.rev ((Eof, Loc.point !line (col ())) :: !toks)
 
-let rules_of_string input =
+type srule = {
+  rule : Scanner.rule;
+  span : Loc.span;  (** span of the rule name at its definition site *)
+  pattern_span : Loc.span;  (** span of the quoted pattern *)
+}
+
+let srules_of_string input =
   match
     let toks = ref (lex input) in
-    let peek () = match !toks with [] -> Eof | t :: _ -> t in
+    let peek () = match !toks with [] -> Eof | (t, _) :: _ -> t in
+    let peek_span () =
+      match !toks with [] -> Loc.dummy | (_, sp) :: _ -> sp
+    in
     let advance () = match !toks with [] -> () | _ :: r -> toks := r in
     let rec rules acc =
       match peek () with
@@ -114,21 +143,23 @@ let rules_of_string input =
             true
           | _ -> false
         in
-        let name =
+        let name, span =
           match peek () with
           | Name n ->
+            let sp = peek_span () in
             advance ();
-            n
+            (n, sp)
           | _ -> fail "expected a rule name"
         in
         (match peek () with
         | Colon -> advance ()
         | _ -> fail "rule %s: expected ':'" name);
-        let pattern =
+        let pattern, pattern_span =
           match peek () with
           | Pattern p ->
+            let sp = peek_span () in
             advance ();
-            p
+            (p, sp)
           | _ -> fail "rule %s: expected a quoted pattern" name
         in
         (match peek () with
@@ -139,13 +170,16 @@ let rules_of_string input =
           | Ok re -> re
           | Error msg -> fail "rule %s: %s" name msg
         in
-        rules (Scanner.rule ~skip name re :: acc)
+        rules ({ rule = Scanner.rule ~skip name re; span; pattern_span } :: acc)
     in
     rules []
   with
   | [] -> Error "empty lexer specification"
   | rules -> Ok rules
   | exception Err msg -> Error msg
+
+let rules_of_string input =
+  Result.map (List.map (fun sr -> sr.rule)) (srules_of_string input)
 
 let scanner_of_string input =
   match rules_of_string input with

@@ -16,6 +16,16 @@
     terminals can be named exactly as the grammar spells them); patterns
     use the {!Regex_parse} syntax. *)
 
+(** A scanner rule together with the source spans of its name and pattern,
+    for span-carrying diagnostics ({!Costar_lint}). *)
+type srule = {
+  rule : Scanner.rule;
+  span : Costar_grammar.Loc.span;
+  pattern_span : Costar_grammar.Loc.span;
+}
+
+val srules_of_string : string -> (srule list, string) result
+
 val rules_of_string : string -> (Scanner.rule list, string) result
 
 val scanner_of_string : string -> (Scanner.t, string) result

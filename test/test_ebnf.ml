@@ -17,7 +17,7 @@ let parses g names =
 let test_star () =
   (* list : '[' ITEM* ']' *)
   let g =
-    Desugar.to_grammar ~start:"list"
+    Desugar.to_grammar_exn ~start:"list"
       [ Ast.rule "list" Ast.(seq [ lit "["; star (tok "ITEM"); lit "]" ]) ]
   in
   check "empty" true (parses g [ "["; "]" ]);
@@ -27,7 +27,7 @@ let test_star () =
 
 let test_plus () =
   let g =
-    Desugar.to_grammar ~start:"s" [ Ast.rule "s" Ast.(plus (tok "X")) ]
+    Desugar.to_grammar_exn ~start:"s" [ Ast.rule "s" Ast.(plus (tok "X")) ]
   in
   check "zero rejected" false (parses g []);
   check "one" true (parses g [ "X" ]);
@@ -35,7 +35,7 @@ let test_plus () =
 
 let test_opt () =
   let g =
-    Desugar.to_grammar ~start:"s"
+    Desugar.to_grammar_exn ~start:"s"
       [ Ast.rule "s" Ast.(seq [ tok "A"; opt (tok "B"); tok "C" ]) ]
   in
   check "without" true (parses g [ "A"; "C" ]);
@@ -45,7 +45,7 @@ let test_opt () =
 let test_nested_groups () =
   (* s : ('a' | 'b' 'c')+ 'd' *)
   let g =
-    Desugar.to_grammar ~start:"s"
+    Desugar.to_grammar_exn ~start:"s"
       [
         Ast.rule "s"
           Ast.(seq [ plus (alt [ lit "a"; seq [ lit "b"; lit "c" ] ]); lit "d" ]);
@@ -60,7 +60,7 @@ let test_sharing () =
   (* The same subexpression used twice synthesizes one nonterminal. *)
   let star_x = Ast.(star (tok "X")) in
   let g =
-    Desugar.to_grammar ~start:"s"
+    Desugar.to_grammar_exn ~start:"s"
       [ Ast.rule "s" Ast.(seq [ star_x; tok "SEP"; star_x ]) ]
   in
   (* nonterminals: s + one shared star = 2 *)
@@ -68,7 +68,7 @@ let test_sharing () =
 
 let test_no_left_recursion_introduced () =
   let g =
-    Desugar.to_grammar ~start:"s"
+    Desugar.to_grammar_exn ~start:"s"
       [
         Ast.rule "s" Ast.(seq [ star (r "item"); tok "END" ]);
         Ast.rule "item" Ast.(alt [ tok "A"; seq [ tok "B"; opt (tok "C") ] ]);
@@ -104,7 +104,9 @@ let test_textual_comments_and_escapes () =
   | Ok rules ->
     check_int "two rules" 2 (List.length rules);
     check "newline literal" true
-      (match (List.nth rules 1).Ast.body with Ast.Lit "\n" -> true | _ -> false)
+      (match (List.nth rules 1).Ast.body.Ast.desc with
+      | Ast.Lit "\n" -> true
+      | _ -> false)
 
 let test_textual_errors () =
   let bad fmt = match Parse.rules_of_string fmt with Error _ -> true | Ok _ -> false in

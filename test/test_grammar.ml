@@ -138,6 +138,55 @@ let test_hidden_left_recursion () =
   | Error xs -> check "S on cycle" true (List.mem (nt g "S") xs)
   | Ok () -> Alcotest.fail "expected hidden left recursion to be caught"
 
+let test_witness_kinds () =
+  let witness g name =
+    let anl = Analysis.make g in
+    Left_recursion.witness g anl (nt g name)
+  in
+  let names g xs = List.map (Grammar.nonterminal_name g) xs in
+  (* Direct: one edge back to itself. *)
+  let g =
+    Grammar.define ~start:"E"
+      [ ("E", [ [ Grammar.n "E"; Grammar.t "+" ]; [ Grammar.t "n" ] ]) ]
+  in
+  (match witness g "E" with
+  | Some (Left_recursion.Direct, cycle) ->
+    Alcotest.(check (list string)) "direct cycle" [ "E"; "E" ] (names g cycle)
+  | _ -> Alcotest.fail "expected a direct witness");
+  (* Indirect: shortest cycle through B found by BFS. *)
+  let g =
+    Grammar.define ~start:"A"
+      [
+        ("A", [ [ Grammar.n "B"; Grammar.t "x" ]; [ Grammar.t "z" ] ]);
+        ("B", [ [ Grammar.n "A"; Grammar.t "y" ] ]);
+      ]
+  in
+  (match witness g "A" with
+  | Some (Left_recursion.Indirect, cycle) ->
+    Alcotest.(check (list string)) "indirect cycle" [ "A"; "B"; "A" ]
+      (names g cycle)
+  | _ -> Alcotest.fail "expected an indirect witness");
+  (* Hidden: the recursive reference sits behind a nullable prefix. *)
+  let g =
+    Grammar.define ~start:"S"
+      [
+        ( "S",
+          [ [ Grammar.n "N"; Grammar.n "S"; Grammar.t "x" ]; [ Grammar.t "y" ] ]
+        );
+        ("N", [ []; [ Grammar.t "w" ] ]);
+      ]
+  in
+  (match witness g "S" with
+  | Some (Left_recursion.Hidden, cycle) ->
+    Alcotest.(check (list string)) "hidden cycle" [ "S"; "S" ] (names g cycle)
+  | _ -> Alcotest.fail "expected a hidden witness");
+  (* No witness for a non-left-recursive nonterminal. *)
+  let g =
+    Grammar.define ~start:"L"
+      [ ("L", [ [ Grammar.t "x"; Grammar.n "L" ]; [] ]) ]
+  in
+  check "right recursion has no witness" true (witness g "L" = None)
+
 let test_tree_ops () =
   let tok name = Grammar.token g1 name name in
   let v =
@@ -218,6 +267,7 @@ let suite =
       test_left_recursion_indirect_nullable;
     Alcotest.test_case "no false positives" `Quick test_not_left_recursive;
     Alcotest.test_case "hidden left recursion" `Quick test_hidden_left_recursion;
+    Alcotest.test_case "left-recursion witnesses" `Quick test_witness_kinds;
     Alcotest.test_case "tree operations" `Quick test_tree_ops;
     Alcotest.test_case "define errors" `Quick test_define_errors;
     Alcotest.test_case "interning pool" `Quick test_pool;

@@ -1,0 +1,333 @@
+(* Lint engine tests: one positive and one negative case per diagnostic
+   code, span checks, severity policy, exit codes, JSON golden output, and
+   lint-cleanliness of the four built-in languages. *)
+
+open Costar_lint
+module D = Diagnostic
+module Loc = Costar_grammar.Loc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let lint_grammar ?start src =
+  match Costar_ebnf.Parse.rules_of_string src with
+  | Error msg -> Alcotest.failf "grammar parse failed: %s" msg
+  | Ok rules -> Lint.run { Lint.empty_input with rules = Some rules; start }
+
+let lint_lexer src =
+  match Costar_lex.Spec.srules_of_string src with
+  | Error msg -> Alcotest.failf "lexer parse failed: %s" msg
+  | Ok rules -> Lint.run { Lint.empty_input with lexer = Some rules }
+
+let lint_both gsrc lsrc =
+  match
+    ( Costar_ebnf.Parse.rules_of_string gsrc,
+      Costar_lex.Spec.srules_of_string lsrc )
+  with
+  | Ok rules, Ok lrules ->
+    Lint.run
+      { Lint.empty_input with rules = Some rules; lexer = Some lrules }
+  | Error msg, _ | _, Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let has code ds = List.exists (fun d -> d.D.code = code) ds
+let find code ds = List.find (fun d -> d.D.code = code) ds
+
+let mentions code sub ds =
+  List.exists
+    (fun d ->
+      d.D.code = code
+      && (let all = String.concat "\n" (d.D.message :: d.D.notes) in
+          let n = String.length sub in
+          let rec at i =
+            i + n <= String.length all
+            && (String.sub all i n = sub || at (i + 1))
+          in
+          at 0))
+    ds
+
+(* --- G001 unreachable --------------------------------------------------- *)
+
+let test_g001 () =
+  let ds = lint_grammar "s : 'a' ;\ndead : 'b' ;" in
+  check "positive" true (has "G001" ds);
+  check "names the nt" true (mentions "G001" "`dead`" ds);
+  check_int "span line" 2 (find "G001" ds).D.span.Loc.start_line;
+  check "negative" false (has "G001" (lint_grammar "s : 'a' ;"))
+
+(* A synthesized nonterminal inside an unreachable rule is folded into the
+   parent diagnostic rather than reported separately. *)
+let test_g001_synth_suppressed () =
+  let ds = lint_grammar "s : 'a' ;\ndead : 'b'* ;" in
+  check_int "one G001" 1
+    (List.length (List.filter (fun d -> d.D.code = "G001") ds))
+
+(* --- G002 unproductive -------------------------------------------------- *)
+
+let test_g002 () =
+  let ds = lint_grammar "s : 'a' | t ;\nt : 'x' t ;" in
+  check "positive" true (has "G002" ds);
+  check "is warning" true ((find "G002" ds).D.severity = D.Warning);
+  check "negative" false (has "G002" (lint_grammar "s : 'a' ;"))
+
+let test_g002_start_is_error () =
+  let ds = lint_grammar "s : 'x' s ;" in
+  check "positive" true (has "G002" ds);
+  check "error on start" true ((find "G002" ds).D.severity = D.Error)
+
+(* --- G003 left recursion ------------------------------------------------ *)
+
+let test_g003_direct () =
+  let ds = lint_grammar "s : s 'x' | 'y' ;" in
+  check "positive" true (has "G003" ds);
+  check "classified direct" true (mentions "G003" "direct" ds);
+  check "witness" true (mentions "G003" "cycle: s -> s" ds);
+  check "negative (right recursion)" false
+    (has "G003" (lint_grammar "s : 'x' s | 'y' ;"))
+
+let test_g003_indirect () =
+  let ds = lint_grammar "a : b 'x' | 'z' ;\nb : a 'y' ;" in
+  check "positive" true (has "G003" ds);
+  check "classified indirect" true (mentions "G003" "indirect" ds);
+  check "witness" true (mentions "G003" "cycle: a -> b -> a" ds);
+  check_int "one diagnostic per cycle" 1
+    (List.length (List.filter (fun d -> d.D.code = "G003") ds))
+
+let test_g003_hidden () =
+  (* n is nullable, so the recursion on a consumes no token first. *)
+  let ds = lint_grammar "a : n a 'x' | 'z' ;\nn : 'w' | ;" in
+  check "positive" true (has "G003" ds);
+  check "classified hidden" true (mentions "G003" "hidden" ds);
+  check "explains nullable prefix" true (mentions "G003" "nullable prefix" ds)
+
+(* --- G004 / G005 LL(1) conflicts ---------------------------------------- *)
+
+let test_g004 () =
+  let ds = lint_grammar "s : 'a' 'b' | 'a' 'c' ;" in
+  check "positive" true (has "G004" ds);
+  check "is info" true ((find "G004" ds).D.severity = D.Info);
+  check "lookahead named" true (mentions "G004" "'a'" ds);
+  check "negative" false (has "G004" (lint_grammar "s : 'a' | 'b' ;"))
+
+let test_g005 () =
+  let ds = lint_grammar "s : a 'x' ;\na : 'x' | ;" in
+  check "positive" true (has "G005" ds);
+  check "negative" false (has "G005" (lint_grammar "s : 'a' | 'b' ;"))
+
+(* --- G006 duplicate alternatives ---------------------------------------- *)
+
+let test_g006 () =
+  let ds = lint_grammar "s : 'a' | 'b' | 'a' ;" in
+  check "positive" true (has "G006" ds);
+  check "negative" false (has "G006" (lint_grammar "s : 'a' | 'b' ;"))
+
+(* --- G007 nullable cycle ------------------------------------------------ *)
+
+let test_g007 () =
+  let ds = lint_grammar "a : b | 'x' ;\nb : a ;" in
+  check "positive" true (has "G007" ds);
+  check "witness" true (mentions "G007" "cycle: a -> b -> a" ds);
+  (* Right recursion with an epsilon alternative is fine. *)
+  check "negative" false (has "G007" (lint_grammar "s : 'a' s | ;"))
+
+(* --- G008/G009/G010 desugar errors -------------------------------------- *)
+
+let test_g008 () =
+  let ds = lint_grammar "s : t 'x' ;" in
+  check "positive" true (has "G008" ds);
+  check "names rule and ref" true (mentions "G008" "`t`" ds);
+  check_int "span col" 5 (find "G008" ds).D.span.Loc.start_col;
+  check "negative" false (has "G008" (lint_grammar "s : t 'x' ;\nt : 'y' ;"))
+
+let test_g009 () =
+  let ds = lint_grammar "s : 'a' ;\ns : 'b' ;" in
+  check "positive" true (has "G009" ds);
+  check_int "span line" 2 (find "G009" ds).D.span.Loc.start_line;
+  check "first site noted" true (mentions "G009" "first defined at 1:1" ds);
+  check "negative" false (has "G009" (lint_grammar "s : 'a' ;\nt : 'b' ;"))
+
+let test_g010 () =
+  let ds = lint_grammar ~start:"nope" "s : 'a' ;" in
+  check "positive" true (has "G010" ds);
+  check "negative" false (has "G010" (lint_grammar ~start:"s" "s : 'a' ;"));
+  (* Empty rule list is the other G010 case. *)
+  let ds =
+    Lint.run { Lint.empty_input with rules = Some []; start = Some "s" }
+  in
+  check "empty grammar" true (has "G010" ds)
+
+(* --- L001 empty-string rule --------------------------------------------- *)
+
+let test_l001 () =
+  let ds = lint_lexer {| A : "a*" ; |} in
+  check "positive" true (has "L001" ds);
+  check "is error" true ((find "L001" ds).D.severity = D.Error);
+  check "negative" false (has "L001" (lint_lexer {| A : "a+" ; |}))
+
+(* --- L002 shadowed rule ------------------------------------------------- *)
+
+let test_l002 () =
+  let ds = lint_lexer {| ID : "[a-z]+" ; KW : "if" ; |} in
+  check "positive" true (has "L002" ds);
+  check "names the loser" true (mentions "L002" "`KW`" ds);
+  (* Keyword-first is the standard fix. *)
+  check "negative" false
+    (has "L002" (lint_lexer {| KW : "if" ; ID : "[a-z]+" ; |}))
+
+(* --- L003 / L004 grammar<->lexer consistency ----------------------------- *)
+
+let test_l003 () =
+  let ds = lint_both "s : ID 'x' ;" {| ID : "[a-z]+" ; |} in
+  check "positive" true (has "L003" ds);
+  check "names the terminal" true (mentions "L003" "'x'" ds);
+  check "negative" false
+    (has "L003" (lint_both "s : ID 'x' ;" {| ID : "[a-z]+" ; 'x' : "x" ; |}))
+
+let test_l004 () =
+  let ds = lint_both "s : ID ;" {| ID : "[a-z]+" ; NUM : "[0-9]+" ; |} in
+  check "positive" true (has "L004" ds);
+  check "names the rule" true (mentions "L004" "`NUM`" ds);
+  (* skip rules are exempt. *)
+  check "negative" false
+    (has "L004" (lint_both "s : ID ;" {| ID : "[a-z]+" ; skip WS : " +" ; |}))
+
+(* --- L005 duplicate rule names ------------------------------------------ *)
+
+let test_l005 () =
+  let ds = lint_lexer {| A : "a" ; A : "b" ; |} in
+  check "positive" true (has "L005" ds);
+  check "negative" false (has "L005" (lint_lexer {| A : "a" ; B : "b" ; |}))
+
+(* --- Engine-level behavior ---------------------------------------------- *)
+
+let test_registry_covers_codes () =
+  (* Every code the engine can emit is registered, and codes are unique. *)
+  let codes = List.map (fun r -> r.Lint.code) Lint.registry in
+  check_int "unique codes" (List.length codes)
+    (List.length (List.sort_uniq String.compare codes));
+  List.iter
+    (fun c -> check ("registered " ^ c) true (Lint.find_rule c <> None))
+    [ "G001"; "G002"; "G003"; "G004"; "G005"; "G006"; "G007"; "G008";
+      "G009"; "G010"; "L001"; "L002"; "L003"; "L004"; "L005" ]
+
+let test_exit_codes () =
+  let clean = lint_grammar "s : 'a' ;" in
+  check_int "clean" 0 (Lint.exit_code clean);
+  let warns = lint_grammar "s : 'a' ;\ndead : 'b' ;" in
+  check_int "warnings gate" 1 (Lint.exit_code warns);
+  check_int "max-warnings tolerates" 0 (Lint.exit_code ~max_warnings:5 warns);
+  let errs = lint_grammar "s : s ;" in
+  check_int "errors dominate" 2 (Lint.exit_code ~max_warnings:99 errs);
+  (* Info diagnostics never affect the exit code. *)
+  let infos = lint_grammar "s : 'a' 'b' | 'a' 'c' ;" in
+  check "has infos" true (has "G004" infos);
+  check_int "infos are free" 0 (Lint.exit_code infos)
+
+let test_sorted_deterministic () =
+  let ds = lint_grammar "s : 'a' ;\ndead : 'b' ;\ndead2 : 'c' ;" in
+  let spans = List.map (fun d -> d.D.span.Loc.start_line) ds in
+  check "document order" true (List.sort compare spans = spans)
+
+let test_json_golden () =
+  let ds = lint_grammar "s : 'a' | 'a' ;" in
+  let expected =
+    {|{
+  "version": 1,
+  "diagnostics": [
+    {
+      "code": "G004",
+      "severity": "info",
+      "span": {"start_line": 1, "start_col": 1, "end_line": 1, "end_col": 1},
+      "message": "FIRST/FIRST LL(1) conflict at `s` on 'a': ALL(*) prediction is required here",
+      "notes": ["candidate: s -> 'a'", "candidate: s -> 'a'"]
+    },
+    {
+      "code": "G006",
+      "severity": "warning",
+      "span": {"start_line": 1, "start_col": 1, "end_line": 1, "end_col": 1},
+      "message": "duplicate alternative for `s`: s -> 'a' appears more than once",
+      "notes": ["every input matching s -> 'a' has at least two parse trees"]
+    }
+  ],
+  "summary": {"errors": 0, "warnings": 1, "infos": 1}
+}
+|}
+  in
+  check_str "json" expected (Render.json ds)
+
+let test_text_render () =
+  let ds = lint_grammar "s : 'a' | 'a' ;" in
+  let text = Render.text ds in
+  check "has code tag" true
+    (let sub = "warning[G006]" in
+     let n = String.length sub in
+     let rec at i =
+       i + n <= String.length text && (String.sub text i n = sub || at (i + 1))
+     in
+     at 0);
+  check_str "clean text" "no diagnostics\n" (Render.text (lint_grammar "s : 'a' ;"))
+
+(* --- Built-in languages are lint-clean (errors/warnings; infos allowed) -- *)
+
+let test_langs_clean () =
+  List.iter
+    (fun l ->
+      let ds = Lint.lint_prebuilt (Costar_langs.Lang.grammar l) in
+      let worst =
+        List.filter
+          (fun d -> d.D.severity = D.Error || d.D.severity = D.Warning)
+          ds
+      in
+      Alcotest.(check (list string))
+        (l.Costar_langs.Lang.name ^ " clean")
+        []
+        (List.map (fun d -> d.D.code ^ ": " ^ d.D.message) worst);
+      check_int
+        (l.Costar_langs.Lang.name ^ " exit 0")
+        0 (Lint.exit_code ds))
+    Costar_langs.Registry.all
+
+(* The paper's point, as a lint assertion: json/xml/dot/minipy all need
+   ALL(star) prediction somewhere, i.e. none is plain LL(1). *)
+let test_langs_need_alls () =
+  List.iter
+    (fun l ->
+      let ds = Lint.lint_prebuilt (Costar_langs.Lang.grammar l) in
+      check
+        (l.Costar_langs.Lang.name ^ " has LL(1) conflicts")
+        true
+        (has "G004" ds || has "G005" ds))
+    Costar_langs.Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "G001 unreachable" `Quick test_g001;
+    Alcotest.test_case "G001 synth suppressed" `Quick test_g001_synth_suppressed;
+    Alcotest.test_case "G002 unproductive" `Quick test_g002;
+    Alcotest.test_case "G002 start is error" `Quick test_g002_start_is_error;
+    Alcotest.test_case "G003 direct" `Quick test_g003_direct;
+    Alcotest.test_case "G003 indirect" `Quick test_g003_indirect;
+    Alcotest.test_case "G003 hidden" `Quick test_g003_hidden;
+    Alcotest.test_case "G004 first/first" `Quick test_g004;
+    Alcotest.test_case "G005 first/follow" `Quick test_g005;
+    Alcotest.test_case "G006 duplicate alts" `Quick test_g006;
+    Alcotest.test_case "G007 nullable cycle" `Quick test_g007;
+    Alcotest.test_case "G008 undefined ref" `Quick test_g008;
+    Alcotest.test_case "G009 duplicate rule" `Quick test_g009;
+    Alcotest.test_case "G010 bad start" `Quick test_g010;
+    Alcotest.test_case "L001 empty match" `Quick test_l001;
+    Alcotest.test_case "L002 shadowed" `Quick test_l002;
+    Alcotest.test_case "L003 missing terminal" `Quick test_l003;
+    Alcotest.test_case "L004 unknown kind" `Quick test_l004;
+    Alcotest.test_case "L005 duplicate name" `Quick test_l005;
+    Alcotest.test_case "registry" `Quick test_registry_covers_codes;
+    Alcotest.test_case "exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "deterministic order" `Quick test_sorted_deterministic;
+    Alcotest.test_case "json golden" `Quick test_json_golden;
+    Alcotest.test_case "text render" `Quick test_text_render;
+    Alcotest.test_case "built-in languages clean" `Quick test_langs_clean;
+    Alcotest.test_case "built-in languages need ALL(star)" `Quick
+      test_langs_need_alls;
+  ]
+
+let () = Alcotest.run "costar_lint" [ ("lint", suite) ]

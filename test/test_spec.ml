@@ -71,6 +71,33 @@ let test_errors () =
   check "empty spec" true (bad "  // nothing\n");
   check "stray char" true (bad "NUM := \"[0-9]\" ;")
 
+let test_empty_matching_rule () =
+  (* A rule whose regex accepts the empty string would make the scanner
+     livelock (zero-width matches forever).  The spec layer still parses it
+     — with spans, so lint can point at the offending pattern — but scanner
+     construction refuses to run it. *)
+  let src = "A : \"a+\" ;\nB : \"b*\" ;" in
+  (match Spec.srules_of_string src with
+  | Error msg -> Alcotest.failf "spec should parse: %s" msg
+  | Ok srules ->
+    check_int "both rules kept" 2 (List.length srules);
+    let b = List.nth srules 1 in
+    Alcotest.(check string) "name" "B" b.Spec.rule.Scanner.name;
+    check "pattern nullable" true (Regex.nullable b.Spec.rule.Scanner.re);
+    check_int "pattern span line" 2
+      b.Spec.pattern_span.Costar_grammar.Loc.start_line);
+  (* scanner_of_string surfaces the same problem as a hard error naming the
+     rule, and never yields a scanner that could loop. *)
+  match Spec.scanner_of_string src with
+  | Ok _ -> Alcotest.fail "nullable rule must not build a scanner"
+  | Error msg ->
+    check "error names the rule" true
+      (let n = String.length "B" in
+       let rec at i =
+         i + n <= String.length msg && (String.sub msg i n = "B" || at (i + 1))
+       in
+       at 0)
+
 let test_quoted_names_and_escapes () =
   match Spec.rules_of_string {| 'if' : "if" ; NL : "\n" ; Q : "\"" ; |} with
   | Error msg -> Alcotest.fail msg
@@ -84,6 +111,7 @@ let suite =
     Alcotest.test_case "end-to-end with grammar" `Quick
       test_end_to_end_with_grammar;
     Alcotest.test_case "spec errors" `Quick test_errors;
+    Alcotest.test_case "empty-matching rule" `Quick test_empty_matching_rule;
     Alcotest.test_case "quoted names and escapes" `Quick
       test_quoted_names_and_escapes;
   ]
