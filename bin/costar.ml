@@ -2,8 +2,11 @@
 
      costar parse  --lang json file.json         parse with a built-in language
      costar parse  --grammar g.ebnf --tokens "a b c"   parse terminal names
+     costar parse  --lang json --cache json.dfa file.json   warm-start parse
      costar check  --grammar g.ebnf              static grammar report
      costar lint   --grammar g.ebnf --lexer g.lexer   coded diagnostics
+     costar analyze --grammar g.ebnf             static prediction analysis
+     costar atn    --lang dot --annotate         decision ATN as GraphViz DOT
      costar lex    --lang minipy file.py         print the token stream
      costar gen    --lang xml --size 100         emit a synthetic corpus file
      costar sample --grammar g.ebnf -n 5         sample sentences
@@ -13,6 +16,8 @@
 open Cmdliner
 open Costar_grammar
 module P = Costar_core.Parser
+module Cache = Costar_core.Cache
+module Analyze = Costar_predict_analysis.Analyze
 
 let read_file path =
   let ic = open_in_bin path in
@@ -136,7 +141,17 @@ let parse_cmd =
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the machine trace.")
   in
-  let run lang grammar lexer start input tokens dot trace =
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:
+            "Start from a precompiled prediction-DFA cache (written by \
+             $(b,costar analyze --emit-cache)); the file's grammar \
+             fingerprint must match.")
+  in
+  let run lang grammar lexer start input tokens dot trace cache_file =
     let g, l = resolve_source lang grammar start in
     let text =
       match tokens, input with
@@ -148,7 +163,18 @@ let parse_cmd =
     let p = P.make g in
     if trace then ignore (Costar_core.Trace.print p toks)
     else begin
-      match P.run p toks with
+      let result =
+        match cache_file with
+        | None -> P.run p toks
+        | Some file ->
+          let cache =
+            or_die
+              (Cache.load_precompiled ~fingerprint:(Grammar.fingerprint g)
+                 file)
+          in
+          fst (P.run_with_cache p cache toks)
+      in
+      match result with
       | P.Unique v | P.Ambig v as r ->
         (match r with
         | P.Ambig _ -> prerr_endline "warning: input is ambiguous"
@@ -166,7 +192,7 @@ let parse_cmd =
   let term =
     Term.(
       const run $ lang_arg $ grammar_arg $ lexer_arg $ start_arg $ input_arg
-      $ tokens_arg $ dot_arg $ trace_arg)
+      $ tokens_arg $ dot_arg $ trace_arg $ cache_arg)
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse input and print the parse tree.") term
 
@@ -267,6 +293,104 @@ let check_cmd =
        ~doc:
          "Static grammar report: sizes plus the full lint diagnostics \
           (left recursion, reachability, LL(1) conflicts, ...).")
+    term
+
+(* --- analyze ------------------------------------------------------------ *)
+
+module Analyze_render = Costar_lint.Analyze_render
+
+let analyze_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let k_arg =
+    Arg.(
+      value
+      & opt int Analyze.default_k
+      & info [ "k" ] ~docv:"K"
+          ~doc:
+            "Lookahead bound: report minimal k for decisions that are \
+             SLL(k) with k <= K, and `beyond' otherwise.")
+  in
+  let emit_cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-cache" ] ~docv:"FILE"
+          ~doc:
+            "Write the prediction-DFA cache built during analysis to FILE, \
+             for $(b,costar parse --cache) to warm-start from.")
+  in
+  let run lang grammar start format k emit_cache =
+    let g, _ = resolve_source lang grammar start in
+    let r = Analyze.analyze ~k g in
+    (match format with
+    | `Text -> print_string (Analyze_render.text r)
+    | `Json -> print_string (Analyze_render.json r));
+    match emit_cache with
+    | None -> ()
+    | Some file ->
+      Cache.save_precompiled ~fingerprint:(Grammar.fingerprint g)
+        r.Analyze.cache file;
+      Printf.eprintf "costar: wrote %s (%d DFA states, %d transitions)\n" file
+        (Cache.num_states r.Analyze.cache)
+        (Cache.num_transitions r.Analyze.cache)
+  in
+  let term =
+    Term.(
+      const run $ lang_arg $ grammar_arg $ start_arg $ format_arg $ k_arg
+      $ emit_cache_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static prediction analysis: minimal SLL(k) lookahead per decision, \
+          colliding alternatives with distinguishing-prefix witnesses, \
+          Earley-confirmed ambiguities, and reachability of the LL \
+          fallback.  Optionally emits the precompiled prediction-DFA cache.")
+    term
+
+(* --- atn ---------------------------------------------------------------- *)
+
+let atn_cmd =
+  let annotate_arg =
+    Arg.(
+      value & flag
+      & info [ "annotate" ]
+          ~doc:
+            "Run the prediction analyzer and label each decision entry \
+             state with its lookahead verdict.")
+  in
+  let run lang grammar start annotate =
+    let g, _ = resolve_source lang grammar start in
+    let atn = Atn.of_grammar g in
+    if not annotate then print_string (Atn.to_dot atn)
+    else begin
+      let r = Analyze.analyze g in
+      let decision_label x =
+        match Analyze.decision_for r x with
+        | Some d when d.Analyze.error = None ->
+          let s = Analyze.lookahead_to_string d.Analyze.lookahead in
+          Some
+            (if Analyze.ll_fallback_possible d then s ^ "; LL fallback"
+             else s)
+        | _ -> None
+      in
+      print_string (Atn.to_dot ~decision_label atn)
+    end
+  in
+  let term =
+    Term.(const run $ lang_arg $ grammar_arg $ start_arg $ annotate_arg)
+  in
+  Cmd.v
+    (Cmd.info "atn"
+       ~doc:
+         "Print the grammar's augmented transition network as GraphViz DOT \
+          (one box per decision entry; $(b,--annotate) adds analyzer \
+          verdicts).")
     term
 
 (* --- lex ---------------------------------------------------------------- *)
@@ -373,4 +497,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ parse_cmd; check_cmd; lint_cmd; lex_cmd; gen_cmd; sample_cmd ]))
+          [
+            parse_cmd; check_cmd; lint_cmd; analyze_cmd; atn_cmd; lex_cmd;
+            gen_cmd; sample_cmd;
+          ]))

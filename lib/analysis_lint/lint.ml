@@ -47,6 +47,18 @@ let registry =
       title = "lexer rule emits a token kind unknown to the grammar" };
     { code = "L005"; default_severity = D.Warning;
       title = "duplicate lexer rule name" };
+    { code = "A001"; default_severity = D.Info;
+      title = "SLL-vs-LL divergence possible: runtime LL fallback reachable" };
+    { code = "A002"; default_severity = D.Info;
+      title = "decision is not SLL(k) for any k within the analyzed bound, \
+               with witness (unbounded-lookahead cost, the regime ALL(*) \
+               exists for)" };
+    { code = "A003"; default_severity = D.Warning;
+      title = "true ambiguity: witness sentence with several parse trees \
+               (Earley-confirmed)" };
+    { code = "A004"; default_severity = D.Info;
+      title = "lookahead-depth report: minimal k for SLL(k) decisions \
+               needing more than one token" };
   ]
 
 let find_rule code = List.find_opt (fun r -> r.code = code) registry
@@ -109,10 +121,14 @@ let grammar_ctx ?file g (prov : Desugar.provenance) =
 
 (* --- Entry points ------------------------------------------------------- *)
 
+(* All checks that run over a (desugared or prebuilt) grammar: the hygiene
+   rules plus the prediction-analysis A-codes. *)
+let grammar_rules ctx = Rules_grammar.all ctx @ Rules_predict.all ctx
+
 (* Lint a prebuilt grammar (no EBNF source, e.g. a built-in language):
    every grammar rule runs, with dummy spans. *)
 let lint_prebuilt ?file g =
-  List.stable_sort D.compare (Rules_grammar.all (Rules_grammar.make_ctx ?file g))
+  List.stable_sort D.compare (grammar_rules (Rules_grammar.make_ctx ?file g))
 
 type input = {
   rules : Ast.rule list option;  (** EBNF source rules *)
@@ -154,11 +170,11 @@ let run input =
           | Some o -> Desugar.origin_span o
           | None -> Loc.dummy
         in
-        (Rules_grammar.all (grammar_ctx ?file g prov), Some (g, span_of_name)))
+        (grammar_rules (grammar_ctx ?file g prov), Some (g, span_of_name)))
     | None -> (
       match input.prebuilt with
       | Some g ->
-        ( Rules_grammar.all (Rules_grammar.make_ctx ?file g),
+        ( grammar_rules (Rules_grammar.make_ctx ?file g),
           Some (g, fun _ -> Loc.dummy) )
       | None -> ([], None))
   in

@@ -3,8 +3,11 @@
 
     Grammar checks run over the desugared BNF, with diagnostics mapped back
     to EBNF source spans through {!Costar_ebnf.Desugar} provenance; lexer
-    checks run over {!Costar_lex.Spec} rules.  Codes are stable ([G]* for
-    grammar, [L]* for lexer; see {!registry} and the table in DESIGN.md).
+    checks run over {!Costar_lex.Spec} rules; prediction-analysis checks run
+    the static SLL-decision analyzer ({!Costar_predict_analysis.Analyze})
+    over the grammar.  Codes are stable ([G]* for grammar, [L]* for lexer,
+    [A]* for prediction analysis; see {!registry} and the table in
+    DESIGN.md).
 
     The motivating paper facts: CoStar's correctness theorems are
     conditional on the absence of left recursion (§4.1, §8) — [G003]/[G007]

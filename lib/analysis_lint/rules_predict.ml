@@ -1,0 +1,123 @@
+(* Prediction-analysis checks (A-codes), over the static SLL-decision
+   analyzer (lib/analysis_predict).  Where the G-codes talk about grammar
+   hygiene, these talk about what adaptive prediction (paper §3.4–3.5) will
+   do at runtime: how much lookahead each decision needs, which alternative
+   pairs genuinely collide, and where the exact-LL fallback is reachable. *)
+
+open Costar_grammar
+module D = Diagnostic
+module A = Costar_predict_analysis.Analyze
+
+let name (ctx : Rules_grammar.ctx) x =
+  Grammar.nonterminal_name ctx.Rules_grammar.g x
+
+let alt_note g ix =
+  Fmt.str "alternative %a" (Grammar.pp_production g) (Grammar.prod g ix)
+
+let pair_notes g (i, j) = [ alt_note g i; alt_note g j ]
+
+let witness_phrase g = function
+  | [] -> "immediately (before any token)"
+  | w -> Printf.sprintf "after `%s`" (A.witness_string g w)
+
+(* First at-EOF conflict of a decision, used as the A001 witness. *)
+let eof_conflict d = List.find_opt (fun c -> c.A.at_eof) d.A.conflicts
+
+let check_decision ctx (d : A.decision) =
+  let g = ctx.Rules_grammar.g in
+  let x = d.A.nt in
+  let acc = ref [] in
+  let emit ~severity ?(extra_notes = []) code message =
+    acc :=
+      Rules_grammar.diag ctx ~severity ~x ~extra_notes code message :: !acc
+  in
+  (* A001: the runtime can fall back from SLL to exact LL here — some input
+     reaches end of input with configurations of several alternatives in
+     accepting position, which is precisely when Sll.predict answers
+     Ambig_pred and Predict.adaptive_predict re-predicts in LL mode. *)
+  (match eof_conflict d with
+  | Some c ->
+    emit ~severity:D.Info
+      ~extra_notes:
+        (Printf.sprintf "both viable to end of input %s"
+           (witness_phrase g c.A.witness)
+        :: pair_notes g c.A.alts)
+      "A001"
+      (Printf.sprintf
+         "SLL and LL prediction can diverge on `%s`: on some inputs every \
+          lookahead token is consumed with several alternatives still \
+          viable, so the runtime falls back to exact LL prediction"
+         (name ctx x))
+  | None -> ());
+  (* A002: not SLL(k) within the analyzed bound. *)
+  (match d.A.lookahead with
+  | A.Beyond k ->
+    let notes =
+      (if d.A.truncated then
+         [
+           Printf.sprintf
+             "exploration stopped at the state budget (%d DFA states)"
+             d.A.states;
+         ]
+       else [])
+      @
+      match d.A.conflicts with
+      | c :: _ ->
+        Printf.sprintf "alternatives still undecided %s"
+          (witness_phrase g c.A.witness)
+        :: pair_notes g c.A.alts
+      | [] -> []
+    in
+    emit ~severity:D.Info ~extra_notes:notes "A002"
+      (Printf.sprintf "`%s` is not SLL(k) for any k <= %d" (name ctx x) k)
+  | A.Cyclic ->
+    let notes =
+      match d.A.conflicts with
+      | c :: _ ->
+        Printf.sprintf "alternatives still undecided %s"
+          (witness_phrase g c.A.witness)
+        :: pair_notes g c.A.alts
+      | [] -> []
+    in
+    emit ~severity:D.Info ~extra_notes:notes "A002"
+      (Printf.sprintf
+         "`%s` is not SLL(k) for any finite k: the lookahead DFA cycles \
+          without deciding"
+         (name ctx x))
+  | A.Sll_k _ | A.Ambiguous -> ());
+  (* A003: a confirmed ambiguity — one diagnostic per colliding pair whose
+     witness sentence the Earley oracle counts >= 2 derivations for. *)
+  List.iter
+    (fun (c : A.conflict) ->
+      match c.A.ambiguous_word with
+      | None -> ()
+      | Some w ->
+        emit ~severity:D.Warning ~extra_notes:(pair_notes g c.A.alts) "A003"
+          (Printf.sprintf
+             "`%s` is ambiguous: `%s` has at least two parse trees \
+              (Earley-confirmed)"
+             (name ctx x) (A.witness_string g w)))
+    d.A.conflicts;
+  (* A004: lookahead-depth report for decisions that need more than one
+     token (SLL(1) is the unremarkable common case). *)
+  (match d.A.lookahead with
+  | A.Sll_k k when k >= 2 ->
+    emit ~severity:D.Info "A004"
+      (Printf.sprintf
+         "`%s` needs %d tokens of lookahead (SLL(%d)); the prediction DFA \
+          explores %d states"
+         (name ctx x) k k d.A.states)
+  | _ -> ());
+  List.rev !acc
+
+let all (ctx : Rules_grammar.ctx) =
+  let g = ctx.Rules_grammar.g in
+  let anl = ctx.Rules_grammar.anl in
+  let r = A.analyze ~analysis:anl g in
+  List.concat_map
+    (fun (d : A.decision) ->
+      (* Unreachable decisions are G001's business; decisions poisoned by
+         left recursion are G003's. *)
+      if d.A.error <> None || not (Analysis.reachable anl d.A.nt) then []
+      else check_decision ctx d)
+    r.A.decisions

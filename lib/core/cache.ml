@@ -50,7 +50,7 @@ type t = {
   infos : info Int_map'.t;
   trans : state_id Trans_map.t;
   inits : state_id Int_map'.t;
-  closures : (Config.sll list, Types.error) result Cfg_map.t;
+  closures : (Config.sll list * bool, Types.error) result Cfg_map.t;
   next : int;
   n_trans : int;
 }
@@ -115,3 +115,68 @@ let add_closure c cfg result =
 
 let add_trans c sid a sid' =
   { c with trans = Trans_map.add (sid, a) sid' c.trans; n_trans = c.n_trans + 1 }
+
+(* Persistence.
+
+   The on-disk format is a plain-text header — magic line, format version,
+   grammar fingerprint — followed by the marshalled cache value.  The header
+   is validated *before* any unmarshalling happens, so a wrong file (or a
+   cache built for a different grammar or by an incompatible build) is
+   rejected without ever feeding untrusted bytes to [Marshal]. *)
+
+let magic = "costar/sll-dfa"
+let format_version = 1
+
+let precompile ~fingerprint c =
+  Printf.sprintf "%s\n%d\n%s\n%s" magic format_version fingerprint
+    (Marshal.to_string c [])
+
+let of_precompiled ~fingerprint s =
+  let next_line pos =
+    match String.index_from_opt s pos '\n' with
+    | None -> None
+    | Some i -> Some (String.sub s pos (i - pos), i + 1)
+  in
+  match next_line 0 with
+  | Some (m, p1) when m = magic -> (
+    match next_line p1 with
+    | None -> Error "corrupt prediction cache (missing format version)"
+    | Some (v, p2) -> (
+      if v <> string_of_int format_version then
+        Error
+          (Printf.sprintf
+             "unsupported prediction-cache format version %s (this build \
+              reads version %d)"
+             v format_version)
+      else
+        match next_line p2 with
+        | None -> Error "corrupt prediction cache (missing fingerprint)"
+        | Some (fp, p3) ->
+          if fp <> fingerprint then
+            Error
+              "prediction cache was built for a different grammar \
+               (fingerprint mismatch); regenerate it with `costar analyze \
+               --emit-cache`"
+          else (
+            match (Marshal.from_string s p3 : t) with
+            | exception _ ->
+              Error "corrupt prediction cache (truncated or damaged payload)"
+            | c -> Ok c)))
+  | _ -> Error "not a costar prediction cache (bad magic)"
+
+let save_precompiled ~fingerprint c file =
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (precompile ~fingerprint c))
+
+let load_precompiled ~fingerprint file =
+  match open_in_bin file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | exception _ -> Error (file ^ ": unreadable prediction cache")
+        | s -> of_precompiled ~fingerprint s)

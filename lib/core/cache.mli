@@ -49,9 +49,37 @@ val add_trans : t -> state_id -> terminal -> state_id -> t
 (** Memoized single-configuration closures.  The closure of a configuration
     set is the union of its members' closures, and identical configurations
     recur constantly across DFA states, so caching per-configuration results
-    removes most closure work once the cache is warm. *)
+    removes most closure work once the cache is warm.  Alongside the stable
+    configurations each entry records whether the closure performed a
+    stable-return fork (simulated return past the truncated stack, §3.5) —
+    the spot where SLL overapproximates LL; the static analyzer reads the
+    flag through {!Sll.closure_cached_ext}. *)
 val find_closure :
-  t -> Config.sll -> (Config.sll list, Types.error) result option
+  t -> Config.sll -> (Config.sll list * bool, Types.error) result option
 
 val add_closure :
-  t -> Config.sll -> (Config.sll list, Types.error) result -> t
+  t -> Config.sll -> (Config.sll list * bool, Types.error) result -> t
+
+(** {1 Persistence}
+
+    A cache — typically one fully populated offline by
+    {!Costar_predict_analysis.Analyze.analyze} — can be serialized and
+    reloaded so parses start warm.  The format is a validated plain-text
+    header (magic, format version, grammar fingerprint from
+    {!Costar_grammar.Grammar.fingerprint}) followed by the marshalled cache;
+    the header is checked before any unmarshalling, so loading rejects wrong
+    files, incompatible format versions, and caches built for any other
+    grammar. *)
+
+(** Serialize a cache, binding it to the given grammar fingerprint. *)
+val precompile : fingerprint:string -> t -> string
+
+(** Deserialize a precompiled cache, validating magic, version, and grammar
+    fingerprint.  The error is a human-readable reason. *)
+val of_precompiled : fingerprint:string -> string -> (t, string) result
+
+(** [save_precompiled ~fingerprint c file] writes {!precompile} to [file]. *)
+val save_precompiled : fingerprint:string -> t -> string -> unit
+
+(** [load_precompiled ~fingerprint file] reads and validates [file]. *)
+val load_precompiled : fingerprint:string -> string -> (t, string) result

@@ -4,7 +4,14 @@
     SLL's [Unique_pred] and [Reject_pred] are trusted (SLL overapproximates
     LL); an SLL [Ambig_pred] merely means several candidates survived, so
     prediction recommences in exact LL mode, whose [Ambig_pred] genuinely
-    witnesses an ambiguous input. *)
+    witnesses an ambiguous input.
+
+    Which decisions can ever take the fallback path is statically decidable:
+    the offline analyzer ([lib/analysis_predict]) explores the same SLL DFA
+    breadth-first and flags exactly the decisions with a reachable pending
+    state whose accepting configurations disagree — everywhere else
+    [adaptive_predict] provably stays in SLL mode (property-tested in
+    [test/test_predict_analysis.ml]). *)
 
 open Costar_grammar
 open Costar_grammar.Symbols

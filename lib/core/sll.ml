@@ -10,9 +10,10 @@ exception Left_rec of nonterminal
    snapshot (the machine's "remove on return").  Expanding a nonterminal
    already in the top snapshot witnesses a nullable cycle, i.e. genuine
    left recursion. *)
-let closure g anl configs =
+let closure_ext g anl configs =
   let seen = ref Sll_set.empty in
   let stable = ref [] in
+  let forked = ref false in
   let rec go cfg vises =
     if not (Sll_set.mem cfg !seen) then begin
       seen := Sll_set.add cfg !seen;
@@ -22,7 +23,10 @@ let closure g anl configs =
         | Ctx_accept -> stable := cfg :: !stable
         | Ctx_nt x ->
           (* Simulated return past the truncated stack: fork to every static
-             caller continuation; accept if end-of-input is legal after x. *)
+             caller continuation; accept if end-of-input is legal after x.
+             This is the one place where SLL diverges from LL (which would
+             return to the actual parse stack), so it is recorded. *)
+          forked := true;
           List.iter
             (fun (y, beta) ->
               go
@@ -53,27 +57,33 @@ let closure g anl configs =
   in
   let fresh cfg = List.map (fun _ -> Int_set.empty) cfg.s_frames in
   match List.iter (fun c -> go c (fresh c)) configs with
-  | () -> Ok (List.sort_uniq compare_sll !stable)
+  | () -> Ok (List.sort_uniq compare_sll !stable, !forked)
   | exception Left_rec x -> Error (Types.Left_recursive x)
+
+let closure g anl configs = Result.map fst (closure_ext g anl configs)
 
 (* Closure of a configuration set through the per-configuration memo table
    threaded in the cache: closure(S) = union over c in S of closure({c}). *)
-let closure_cached g anl cache configs =
-  let rec go cache acc = function
-    | [] -> (cache, Ok (List.sort_uniq compare_sll (List.concat acc)))
+let closure_cached_ext g anl cache configs =
+  let rec go cache acc forked = function
+    | [] -> (cache, Ok (List.sort_uniq compare_sll (List.concat acc), forked))
     | cfg :: rest -> (
       let cache, result =
         match Cache.find_closure cache cfg with
         | Some r -> (cache, r)
         | None ->
-          let r = closure g anl [ cfg ] in
+          let r = closure_ext g anl [ cfg ] in
           (Cache.add_closure cache cfg r, r)
       in
       match result with
       | Error e -> (cache, Error e)
-      | Ok stable -> go cache (stable :: acc) rest)
+      | Ok (stable, f) -> go cache (stable :: acc) (forked || f) rest)
   in
-  go cache [] configs
+  go cache [] false configs
+
+let closure_cached g anl cache configs =
+  let cache, result = closure_cached_ext g anl cache configs in
+  (cache, Result.map fst result)
 
 let move configs a =
   List.filter_map

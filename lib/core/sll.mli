@@ -36,6 +36,20 @@ val closure_cached :
   Config.sll list ->
   Cache.t * (Config.sll list, Types.error) result
 
+(** Like {!closure_cached}, but additionally reports whether any
+    configuration's closure performed a {e stable-return fork} — a simulated
+    return past the truncated stack to the statically computed caller
+    continuations (§3.5).  The fork is exactly where SLL overapproximates LL,
+    so the static analyzer uses the flag to mark decisions whose SLL
+    simulation leaves the exact-LL fragment.  The flag is memoized alongside
+    the closure result, so asking costs nothing once the cache is warm. *)
+val closure_cached_ext :
+  Grammar.t ->
+  Analysis.t ->
+  Cache.t ->
+  Config.sll list ->
+  Cache.t * (Config.sll list * bool, Types.error) result
+
 (** [move configs a] advances every stable configuration whose top symbol is
     the terminal [a]; accepting configurations are dropped. *)
 val move : Config.sll list -> terminal -> Config.sll list

@@ -10,6 +10,9 @@ type t = {
   productive : bool array;
   callers : (nonterminal * symbol list) list array;
   endable : bool array;
+  min_yield : terminal list array;
+      (* shortest terminal yield per nonterminal; meaningful only where
+         [productive] holds *)
 }
 
 (* Iterate [f] until it reports no change. *)
@@ -139,6 +142,37 @@ let compute_productive g =
         (Grammar.prods g));
   productive
 
+(* Shortest terminal yield of each productive nonterminal, as an actual word.
+   A Bellman-Ford-style fixpoint: an entry is only ever replaced by a strictly
+   shorter word, so lengths descend and the iteration terminates.  Ties are
+   broken by keeping the incumbent, which makes the result deterministic in
+   production order. *)
+let compute_min_yield g productive =
+  let n = Grammar.num_nonterminals g in
+  let yield : terminal list option array = Array.make n None in
+  let len = function None -> max_int | Some w -> List.length w in
+  let sym_yield = function T a -> Some [ a ] | NT x -> yield.(x) in
+  fixpoint (fun changed ->
+      Array.iter
+        (fun p ->
+          let parts = List.map sym_yield p.Grammar.rhs in
+          if List.for_all Option.is_some parts then begin
+            let w = List.concat_map Option.get parts in
+            if List.length w < len yield.(p.lhs) then begin
+              yield.(p.lhs) <- Some w;
+              changed := true
+            end
+          end)
+        (Grammar.prods g));
+  Array.mapi
+    (fun x w ->
+      match w with
+      | Some w -> w
+      | None ->
+        assert (not productive.(x));
+        [])
+    yield
+
 let compute_callers g =
   let n = Grammar.num_nonterminals g in
   let callers = Array.make n [] in
@@ -188,6 +222,7 @@ let make g =
   let productive = compute_productive g in
   let callers = compute_callers g in
   let endable = compute_endable g nullable callers in
+  let min_yield = compute_min_yield g productive in
   {
     g;
     nullable;
@@ -198,6 +233,7 @@ let make g =
     productive;
     callers;
     endable;
+    min_yield;
   }
 
 let grammar a = a.g
@@ -211,3 +247,13 @@ let reachable a x = a.reachable.(x)
 let productive a x = a.productive.(x)
 let callers a x = a.callers.(x)
 let endable a x = a.endable.(x)
+let min_yield a x = if a.productive.(x) then Some a.min_yield.(x) else None
+
+let min_yield_seq a syms =
+  let rec go acc = function
+    | [] -> Some (List.concat (List.rev acc))
+    | T t :: rest -> go ([ t ] :: acc) rest
+    | NT x :: rest ->
+      if a.productive.(x) then go (a.min_yield.(x) :: acc) rest else None
+  in
+  go [] syms

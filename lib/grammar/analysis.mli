@@ -51,3 +51,12 @@ val callers : t -> nonterminal -> (nonterminal * symbol list) list
     yield of [x] (the start symbol is endable; if [y] is endable and
     [y -> alpha x beta] with [beta] nullable, then [x] is endable). *)
 val endable : t -> nonterminal -> bool
+
+(** [min_yield a x] is a shortest terminal word derivable from [x], or [None]
+    if [x] is unproductive.  Used by the prediction analyzer to complete
+    conflict-witness prefixes into full candidate sentences. *)
+val min_yield : t -> nonterminal -> terminal list option
+
+(** Shortest terminal word derivable from a sentential form ([None] if any
+    symbol in it is unproductive). *)
+val min_yield_seq : t -> symbol list -> terminal list option

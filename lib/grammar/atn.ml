@@ -90,14 +90,25 @@ let spell_production t ix =
   if t.prod_entry.(ix) = stop then []
   else walk t.prod_entry.(ix) []
 
-let to_dot t =
+let to_dot ?decision_label t =
   let g = t.g in
+  let escape s =
+    String.concat "\\\"" (String.split_on_char '"' s)
+  in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "digraph atn {\n  rankdir=LR;\n  node [shape=circle];\n";
   for x = 0 to Grammar.num_nonterminals g - 1 do
+    let label =
+      let name = Grammar.nonterminal_name g x in
+      match decision_label with
+      | None -> name
+      | Some f -> (
+        match f x with
+        | None -> name
+        | Some note -> name ^ "\\n" ^ escape note)
+    in
     Buffer.add_string buf
-      (Printf.sprintf "  q%d [label=\"%s\", shape=box];\n" t.entry.(x)
-         (Grammar.nonterminal_name g x));
+      (Printf.sprintf "  q%d [label=\"%s\", shape=box];\n" t.entry.(x) label);
     Buffer.add_string buf
       (Printf.sprintf "  q%d [shape=doublecircle];\n" t.accept.(x))
   done;

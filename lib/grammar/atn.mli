@@ -40,4 +40,8 @@ val production_entry : t -> int -> state
 (** Read a production's right-hand side back off the graph. *)
 val spell_production : t -> int -> symbol list
 
-val to_dot : t -> string
+(** GraphViz rendering of the ATN.  [decision_label] may attach an extra line
+    of text to a nonterminal's entry box — the prediction analyzer uses it to
+    annotate decision states with their lookahead verdicts ([costar atn
+    --annotate]). *)
+val to_dot : ?decision_label:(nonterminal -> string option) -> t -> string

@@ -103,6 +103,39 @@ let token ?line ?col g name lexeme =
 
 let tokens g names = List.map (fun name -> token g name name) names
 
+let fingerprint g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (nonterminal_name g g.start);
+  Buffer.add_char buf '\n';
+  for a = 0 to num_terminals g - 1 do
+    Buffer.add_string buf (terminal_name g a);
+    Buffer.add_char buf '\x00'
+  done;
+  Buffer.add_char buf '\n';
+  for x = 0 to num_nonterminals g - 1 do
+    Buffer.add_string buf (nonterminal_name g x);
+    Buffer.add_char buf '\x00'
+  done;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int p.lhs);
+      Buffer.add_string buf ":";
+      List.iter
+        (fun s ->
+          (match s with
+          | T a ->
+            Buffer.add_char buf 't';
+            Buffer.add_string buf (string_of_int a)
+          | NT x ->
+            Buffer.add_char buf 'n';
+            Buffer.add_string buf (string_of_int x));
+          Buffer.add_char buf ' ')
+        p.rhs;
+      Buffer.add_char buf '\n')
+    g.prods;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let pp_symbol g ppf s =
   match s with
   | T a -> Fmt.pf ppf "'%s'" (terminal_name g a)

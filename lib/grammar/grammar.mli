@@ -84,6 +84,13 @@ val token : ?line:int -> ?col:int -> t -> string -> string -> Token.t
     its lexeme. *)
 val tokens : t -> string list -> Token.t list
 
+(** [fingerprint g] is a hex digest over the grammar's full structure — start
+    symbol, interned terminal and nonterminal pools (names, in id order), and
+    every production — such that two grammars share a fingerprint iff they are
+    indistinguishable to the prediction machinery.  Used to invalidate
+    precompiled prediction-DFA caches (see {!Costar_core.Cache}). *)
+val fingerprint : t -> string
+
 (** {1 Printing} *)
 
 val pp_symbol : t -> Format.formatter -> symbol -> unit

@@ -235,6 +235,20 @@ let test_json_golden () =
   "version": 1,
   "diagnostics": [
     {
+      "code": "A001",
+      "severity": "info",
+      "span": {"start_line": 1, "start_col": 1, "end_line": 1, "end_col": 1},
+      "message": "SLL and LL prediction can diverge on `s`: on some inputs every lookahead token is consumed with several alternatives still viable, so the runtime falls back to exact LL prediction",
+      "notes": ["both viable to end of input immediately (before any token)", "alternative s -> 'a'", "alternative s -> 'a'"]
+    },
+    {
+      "code": "A003",
+      "severity": "warning",
+      "span": {"start_line": 1, "start_col": 1, "end_line": 1, "end_col": 1},
+      "message": "`s` is ambiguous: `a` has at least two parse trees (Earley-confirmed)",
+      "notes": ["alternative s -> 'a'", "alternative s -> 'a'"]
+    },
+    {
       "code": "G004",
       "severity": "info",
       "span": {"start_line": 1, "start_col": 1, "end_line": 1, "end_col": 1},
@@ -249,7 +263,7 @@ let test_json_golden () =
       "notes": ["every input matching s -> 'a' has at least two parse trees"]
     }
   ],
-  "summary": {"errors": 0, "warnings": 1, "infos": 1}
+  "summary": {"errors": 0, "warnings": 2, "infos": 2}
 }
 |}
   in
