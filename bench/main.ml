@@ -9,6 +9,7 @@
      E8  --only ablation  interned ints vs extraction-style strings (§6.1)
      E9  --only earley    general-CFG baseline vs CoStar (§7 claim)
      E12 --only precache  offline DFA precompilation: analyze once, parse warm
+     E13 --only intern    interned prediction hot path: cold vs warm us/token
 
    With no --only option, all experiments run.  --quick shrinks the corpora
    (used for smoke checks); --bechamel additionally runs one Bechamel
@@ -39,7 +40,7 @@ let parse_args () =
       ( "--only",
         Arg.String (fun s -> only := Some s),
         "<exp> run one experiment: \
-         fig8|fig9|fig10|fig11|ll1|ablation|earley|lookahead|gss|precache" );
+         fig8|fig9|fig10|fig11|ll1|ablation|earley|lookahead|gss|precache|intern" );
       ("--bechamel", Arg.Set bech, " also run Bechamel micro-benchmarks");
     ]
   in
@@ -119,8 +120,26 @@ let time_trials ~trials f =
      repetition does not warm them. *)
   let est = time_once ~reps:1 f in
   let reps = max 1 (min 2000 (int_of_float (1e-3 /. (est +. 1e-9)))) in
+  (* Settle the GC before sampling: setup work (corpus generation, cache
+     warming) leaves incremental-mark debt that would otherwise be paid —
+     unevenly — inside the first few measured parses. *)
+  Gc.full_major ();
   let samples = Array.init trials (fun _ -> time_once ~reps f) in
   (Stats.Summary.mean samples, Stats.Summary.stdev samples)
+
+(* Best-of-samples variant for the head-to-head engine comparison (E13):
+   on a shared machine the distribution of samples is the true cost plus
+   one-sided interference spikes, so the minimum estimates the true cost
+   far more robustly than the mean. *)
+let time_best ~trials f =
+  let est = time_once ~reps:1 f in
+  let reps = max 1 (min 2000 (int_of_float (1e-3 /. (est +. 1e-9)))) in
+  Gc.full_major ();
+  let best = ref infinity in
+  for _ = 1 to trials do
+    best := min !best (time_once ~reps f)
+  done;
+  !best
 
 let expect_unique lang = function
   | P.Unique _ -> ()
@@ -161,7 +180,8 @@ let fig8 corpora =
 let fig9 cfg corpora =
   print_endline "== Figure 9: input size vs CoStar parse time ==";
   Printf.printf
-    "(each point: %d trials, fresh prediction cache per trial, as in the paper)\n"
+    "(each point: %d trials; each parse starts from the static grammar cache \
+     only,\n keeping nothing learned from earlier parses, as in the paper)\n"
     cfg.trials;
   List.iter
     (fun { lang; files } ->
@@ -174,7 +194,7 @@ let fig9 cfg corpora =
           (fun f ->
             let mean, stdev =
               time_trials ~trials:cfg.trials (fun () ->
-                  let r = P.run p f.toks in
+                  let r = P.run_cold p f.toks in
                   expect_unique lang r;
                   r)
             in
@@ -227,7 +247,8 @@ let fig10 cfg corpora =
                        Lang.tokenize lang f.src)
                  in
                  let costar_t, _ =
-                   time_trials ~trials:cfg.trials (fun () -> P.run p f.toks)
+                   time_trials ~trials:cfg.trials (fun () ->
+                       P.run_cold p f.toks)
                  in
                  let turbo_t, _ =
                    time_trials ~trials:cfg.trials (fun () ->
@@ -325,7 +346,8 @@ let fig11 cfg corpora =
   let shared =
     List.fold_left
       (fun cache f -> snd (P.run_with_cache p cache f.toks))
-      Costar_core.Cache.empty files
+      (Costar_core.Cache.create (P.analysis p))
+      files
   in
   let costar_warm =
     List.map
@@ -481,11 +503,13 @@ let gss_ablation cfg corpora =
       in
       let list_t, _ =
         time_trials ~trials:cfg.trials (fun () ->
-            Costar_core.Sll.predict g anl Costar_core.Cache.empty x w)
+            Costar_core.Sll.predict g anl
+              (Costar_core.Cache.create anl)
+              x w)
       in
       (* Count states of a single cold run. *)
       let cache, _ =
-        Costar_core.Sll.predict g anl Costar_core.Cache.empty x w
+        Costar_core.Sll.predict g anl (Costar_core.Cache.create anl) x w
       in
       let e = Costar_gss.Gss.create g in
       let gss_t, _ =
@@ -560,7 +584,7 @@ let lookahead cfg corpora =
 (* ------------------------------------------------------------------ *)
 (* E12: offline DFA precompilation (the tentpole of the static        *)
 (* prediction analyzer): analyze once, serialize the prediction-DFA   *)
-(* cache, and start parsing from it instead of from Cache.empty.      *)
+(* cache, and start parsing from it instead of from an empty cache.   *)
 (* ------------------------------------------------------------------ *)
 
 let precache cfg corpora =
@@ -586,35 +610,41 @@ let precache cfg corpora =
         Costar_core.Cache.precompile ~fingerprint:fp
           r.Costar_predict_analysis.Analyze.cache
       in
+      let p = P.make g in
+      let anl = P.analysis p in
       let pre =
-        match Costar_core.Cache.of_precompiled ~fingerprint:fp blob with
+        match Costar_core.Cache.of_precompiled ~anl ~fingerprint:fp blob with
         | Ok c -> c
         | Error msg -> failwith msg
       in
-      let p = P.make g in
       (* One pass over the whole corpus from a given starting cache; the
          number of states/transitions the parser adds on top of it is its
-         DFA-cache miss count. *)
+         DFA-cache miss count.  The cache store is mutable, so the
+         before-counts must be snapshot before parsing, and each pass works
+         on a private copy so timing passes still start from the intended
+         cache. *)
       let parse_all cache0 =
         List.fold_left
           (fun cache f -> snd (P.run_with_cache p cache f.toks))
           cache0 files
       in
-      let miss from final =
-        ( Costar_core.Cache.num_states final
-          - Costar_core.Cache.num_states from,
-          Costar_core.Cache.num_transitions final
-          - Costar_core.Cache.num_transitions from )
+      let miss cache0 =
+        let c = Costar_core.Cache.copy cache0 in
+        let s0 = Costar_core.Cache.num_states c in
+        let t0 = Costar_core.Cache.num_transitions c in
+        let c = parse_all c in
+        ( Costar_core.Cache.num_states c - s0,
+          Costar_core.Cache.num_transitions c - t0 )
       in
-      let cold_s, cold_t' = miss Costar_core.Cache.empty
-          (parse_all Costar_core.Cache.empty) in
-      let warm_s, warm_t' = miss pre (parse_all pre) in
+      let cold_s, cold_t' = miss (Costar_core.Cache.create anl) in
+      let warm_s, warm_t' = miss pre in
       let cold_time, _ =
         time_trials ~trials:cfg.trials (fun () ->
-            parse_all Costar_core.Cache.empty)
+            parse_all (Costar_core.Cache.create anl))
       in
       let warm_time, _ =
-        time_trials ~trials:cfg.trials (fun () -> parse_all pre)
+        time_trials ~trials:cfg.trials (fun () ->
+            parse_all (Costar_core.Cache.copy pre))
       in
       Printf.printf "%-10s %11.1f %9.1f %10d/%-5d %10d/%-5d %12.3f %12.3f %7.2fx\n"
         lang.Lang.name (analyze_t *. 1e3)
@@ -628,6 +658,61 @@ let precache cfg corpora =
     " starting cache; zero warm misses means the analyzer's offline closure";
   print_endline
     " already interned every state and transition the corpus parse needs)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* E13: interned prediction hot path — cold vs warm per-token cost     *)
+(* ------------------------------------------------------------------ *)
+
+let intern_bench cfg corpora =
+  print_endline
+    "== E13: interned prediction hot path (hash-consed frames, dense config \
+     ids, array DFA stepping) ==";
+  print_endline
+    "(cold = each parse starts from the static grammar cache, keeping nothing;";
+  print_endline
+    " warm = shared cache pre-warmed on the whole corpus; largest file per \
+     language)";
+  Printf.printf "%-10s %8s %10s %10s %13s %13s\n" "Benchmark" "tokens"
+    "cold(ms)" "warm(ms)" "cold us/tok" "warm us/tok";
+  List.iter
+    (fun { lang; files } ->
+      let p = P.make (Lang.grammar lang) in
+      let f = List.nth files (List.length files - 1) in
+      let cold_t =
+        time_best ~trials:(max 7 cfg.trials) (fun () ->
+            let r = P.run_cold p f.toks in
+            expect_unique lang r;
+            r)
+      in
+      let shared =
+        List.fold_left
+          (fun cache fl -> snd (P.run_with_cache p cache fl.toks))
+          (Costar_core.Cache.create (P.analysis p))
+          files
+      in
+      let warm_t =
+        time_best ~trials:(max 7 cfg.trials) (fun () ->
+            P.run_with_cache p shared f.toks)
+      in
+      let us_per_tok t = t /. float_of_int (max 1 f.n_toks) *. 1e6 in
+      Printf.printf "%-10s %8d %10.3f %10.3f %13.3f %13.3f\n" lang.Lang.name
+        f.n_toks (cold_t *. 1e3) (warm_t *. 1e3) (us_per_tok cold_t)
+        (us_per_tok warm_t);
+      (* One instrumented warm parse: with the DFA fully learned, the hot
+         loop should be all transition hits and no closure work. *)
+      Costar_core.Instr.reset ();
+      Costar_core.Instr.enabled := true;
+      ignore (P.run_with_cache p shared f.toks);
+      Costar_core.Instr.enabled := false;
+      let c = Costar_core.Instr.cache_totals () in
+      Printf.printf
+        "           warm cache: trans %d hits / %d misses; closure memo %d \
+         hits / %d misses; %d state interns\n"
+        c.Costar_core.Instr.trans_hits c.Costar_core.Instr.trans_misses
+        c.Costar_core.Instr.closure_hits c.Costar_core.Instr.closure_misses
+        c.Costar_core.Instr.state_interns)
+    corpora;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -701,7 +786,10 @@ let bechamel_run corpora =
       Test.make ~name:"fig9/costar-json-warmcache"
         (Staged.stage
            (let cache =
-              snd (P.run_with_cache jp Costar_core.Cache.empty jf.toks)
+              snd
+                (P.run_with_cache jp
+                   (Costar_core.Cache.create (P.analysis jp))
+                   jf.toks)
             in
             fun () -> ignore (P.run_with_cache jp cache jf.toks)));
     ]
@@ -743,5 +831,6 @@ let () =
   if wants cfg "lookahead" then lookahead cfg corpora;
   if wants cfg "gss" then gss_ablation cfg corpora;
   if wants cfg "precache" then precache cfg corpora;
+  if wants cfg "intern" then intern_bench cfg corpora;
   if cfg.bechamel then bechamel_run corpora;
   print_endline "done."

@@ -151,7 +151,17 @@ let parse_cmd =
              $(b,costar analyze --emit-cache)); the file's grammar \
              fingerprint must match.")
   in
-  let run lang grammar lexer start input tokens dot trace cache_file =
+  let stats_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print prediction and DFA-cache statistics (lookahead consumed, \
+             state interns, transition and closure-memo hit rates) to stderr \
+             after parsing.")
+  in
+  let run lang grammar lexer start input tokens dot trace cache_file stats =
     let g, l = resolve_source lang grammar start in
     let text =
       match tokens, input with
@@ -161,6 +171,10 @@ let parse_cmd =
     in
     let toks = or_die (tokens_of_input ?lexer g l text) in
     let p = P.make g in
+    if stats then begin
+      Costar_core.Instr.reset ();
+      Costar_core.Instr.enabled := true
+    end;
     if trace then ignore (Costar_core.Trace.print p toks)
     else begin
       let result =
@@ -169,11 +183,31 @@ let parse_cmd =
         | Some file ->
           let cache =
             or_die
-              (Cache.load_precompiled ~fingerprint:(Grammar.fingerprint g)
-                 file)
+              (Cache.load_precompiled ~anl:(P.analysis p)
+                 ~fingerprint:(Grammar.fingerprint g) file)
           in
           fst (P.run_with_cache p cache toks)
       in
+      if stats then begin
+        let module I = Costar_core.Instr in
+        let sll_calls, sll_toks, ll_calls, ll_toks = I.totals () in
+        let c = I.cache_totals () in
+        let pct num den =
+          if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
+        in
+        Printf.eprintf
+          "prediction: %d SLL calls (%d lookahead tokens), %d LL calls (%d \
+           lookahead tokens)\n"
+          sll_calls sll_toks ll_calls ll_toks;
+        Printf.eprintf
+          "dfa cache: %d state interns; transitions %d hits / %d misses \
+           (%.1f%% hit); closure memo %d hits / %d misses (%.1f%% hit)\n"
+          c.I.state_interns c.I.trans_hits c.I.trans_misses
+          (pct c.I.trans_hits (c.I.trans_hits + c.I.trans_misses))
+          c.I.closure_hits c.I.closure_misses
+          (pct c.I.closure_hits (c.I.closure_hits + c.I.closure_misses));
+        I.enabled := false
+      end;
       match result with
       | P.Unique v | P.Ambig v as r ->
         (match r with
@@ -192,7 +226,7 @@ let parse_cmd =
   let term =
     Term.(
       const run $ lang_arg $ grammar_arg $ lexer_arg $ start_arg $ input_arg
-      $ tokens_arg $ dot_arg $ trace_arg $ cache_arg)
+      $ tokens_arg $ dot_arg $ trace_arg $ cache_arg $ stats_arg)
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse input and print the parse tree.") term
 

@@ -65,8 +65,7 @@ let merged_groups configs =
     match groups with
     | [] -> [ (cfg.s_frames, cfg.s_ctx, [ cfg.s_pred ]) ]
     | (f, c, preds) :: rest
-      when Config.compare_frames f cfg.s_frames = 0
-           && Config.compare_sctx c cfg.s_ctx = 0 ->
+      when f = cfg.s_frames && Config.compare_sctx c cfg.s_ctx = 0 ->
       (f, c, preds @ [ cfg.s_pred ]) :: rest
     | gp :: rest -> gp :: add rest cfg
   in
@@ -90,7 +89,7 @@ exception Abort of Types.error
 
 let analyze_decision g anl ~k ~max_states ~oracle cache x =
   let n_alts = List.length (Grammar.prods_of g x) in
-  match Sll.closure_cached_ext g anl cache (Sll.init_configs g x) with
+  match Sll.closure_cached_ext g anl cache (Sll.init_configs g anl x) with
   | cache, Error e ->
     ( cache,
       {
@@ -159,7 +158,9 @@ let analyze_decision g anl ~k ~max_states ~oracle cache x =
            let w = path_to sid in
            List.iter
              (fun (frames, ctx, preds) ->
-               let at_eof = frames = [] && ctx = Config.Ctx_accept in
+               let at_eof =
+                 Frames.spine_is_nil frames && ctx = Config.Ctx_accept
+               in
                let amb =
                  (* Candidate ambiguous sentence: the path to this state plus
                     a shortest completion of the merged group's remaining
@@ -170,7 +171,10 @@ let analyze_decision g anl ~k ~max_states ~oracle cache x =
                     [x] and confirmation correctly fails). *)
                  let completion =
                    if at_eof then Some []
-                   else Analysis.min_yield_seq anl (List.concat frames)
+                   else
+                     Analysis.min_yield_seq anl
+                       (List.concat
+                          (Frames.frames_of_spine (Analysis.frames anl) frames))
                  in
                  match completion with
                  | None -> None
@@ -196,19 +200,15 @@ let analyze_decision g anl ~k ~max_states ~oracle cache x =
              for a = 0 to Grammar.num_terminals g - 1 do
                match
                  Sll.closure_cached_ext g anl !cache
-                   (Sll.move info.Cache.configs a)
+                   (Sll.move anl info.Cache.configs a)
                with
                | cache', Error e ->
                  cache := cache';
                  raise (Abort e)
                | cache', Ok (configs', f) ->
                  let cache', sid' = Cache.intern cache' configs' in
-                 let cache' =
-                   match Cache.find_trans cache' sid a with
-                   | Some _ -> cache'
-                   | None -> Cache.add_trans cache' sid a sid'
-                 in
-                 cache := cache';
+                 (* [add_trans] is idempotent, so no find-before-add dance. *)
+                 cache := Cache.add_trans cache' sid a sid';
                  forked := !forked || f;
                  let pending =
                    match (Cache.info cache' sid').Cache.verdict with
@@ -295,9 +295,19 @@ let analyze_decision g anl ~k ~max_states ~oracle cache x =
       } )
 
 let analyze ?(k = default_k) ?(max_states = default_max_states)
-    ?(oracle = true) ?(cache = Cache.empty) ?analysis g =
-  let anl = match analysis with Some a -> a | None -> Analysis.make g in
-  let cache = ref cache in
+    ?(oracle = true) ?cache ?analysis g =
+  (* A supplied cache is bound to the analysis it was created with (its
+     frame interner defines the configuration representation), so reuse its
+     analysis rather than building a fresh, incompatible one. *)
+  let anl =
+    match analysis, cache with
+    | Some a, _ -> a
+    | None, Some c -> Cache.analysis c
+    | None, None -> Analysis.make g
+  in
+  let cache =
+    ref (match cache with Some c -> c | None -> Cache.create anl)
+  in
   let decisions = ref [] in
   for x = 0 to Grammar.num_nonterminals g - 1 do
     if List.length (Grammar.prods_of g x) >= 2 then begin

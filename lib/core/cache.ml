@@ -1,3 +1,4 @@
+open Costar_grammar
 open Costar_grammar.Symbols
 
 type state_id = int
@@ -11,127 +12,345 @@ type info = {
   configs : Config.sll list;
   verdict : verdict;
   accepting : int list;
+  (* Preboxed verdicts for the warm prediction fast path, so deciding a
+     state allocates nothing: [decided_pred] is the prediction when
+     [verdict] is [V_all_pred] (a shared [Unique_pred] box), [eof_pred] the
+     prediction when input ends in this state. *)
+  decided_pred : Types.prediction;
+  eof_pred : Types.prediction;
 }
 
-module Key = struct
-  type t = Config.sll list
+(* State keys: the sorted array of the member configurations' dense ids,
+   hashed over its full length (the generic hash would inspect only a
+   prefix). *)
+module Key_tbl = Hashtbl.Make (struct
+  type t = int array
 
-  let rec compare l1 l2 =
-    match l1, l2 with
-    | [], [] -> 0
-    | [], _ :: _ -> -1
-    | _ :: _, [] -> 1
-    | c1 :: r1, c2 :: r2 ->
-      let c = Config.compare_sll c1 c2 in
-      if c <> 0 then c else compare r1 r2
-end
+  let equal a b =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec eq i = i >= n || (a.(i) = b.(i) && eq (i + 1)) in
+    eq 0
 
-module Key_map = Map.Make (Key)
-module Int_map' = Map.Make (Int)
-
-module Trans_key = struct
-  type t = state_id * terminal
-
-  let compare (s1, a1) (s2, a2) =
-    let c = Int.compare s1 s2 in
-    if c <> 0 then c else Int.compare a1 a2
-end
-
-module Trans_map = Map.Make (Trans_key)
-
-module Cfg_map = Map.Make (struct
-  type t = Config.sll
-
-  let compare = Config.compare_sll
+  let hash a =
+    let h = ref (Array.length a) in
+    Array.iter (fun x -> h := (!h * 31) + x + 1) a;
+    !h land max_int
 end)
 
+let no_row : int array = [||]
+let dummy_info =
+  {
+    configs = [];
+    verdict = V_empty;
+    accepting = [];
+    decided_pred = Types.Reject_pred;
+    eof_pred = Types.Reject_pred;
+  }
+let dummy_cfg = { Config.s_pred = -1; s_frames = Frames.nil; s_ctx = Ctx_accept }
+
+type closure_result = (Config.sll list * bool, Types.error) result
+
 type t = {
-  ids : state_id Key_map.t;
-  infos : info Int_map'.t;
-  trans : state_id Trans_map.t;
-  inits : state_id Int_map'.t;
-  closures : (Config.sll list * bool, Types.error) result Cfg_map.t;
-  next : int;
-  n_trans : int;
+  (* The analysis this cache was created against.  Configurations are
+     expressed in its [Frames] interner, whose spine ids depend on runtime
+     interning order — so a cache must only ever be consulted through this
+     exact analysis, never through another [Analysis.make] of the same
+     grammar.  Consumers holding a foreign cache (the machine, the static
+     analyzer) read the analysis back from here. *)
+  anl : Analysis.t;
+  frames : Frames.t;
+  n_terms : int;
+  (* One shared [Unique_pred ix] box per production, so the warm path and
+     single-alternative decisions never re-allocate their verdict. *)
+  uniq : Types.prediction array;
+  (* dense ids for configurations; [closures] is the per-configuration
+     closure memo, indexed by config id *)
+  cfg_ids : int Config.Sll_tbl.t;
+  mutable cfgs : Config.sll array;
+  mutable closures : closure_result option array;
+  mutable n_cfgs : int;
+  (* DFA states: interned sorted-config-id keys, info per state, and a
+     lazily allocated terminal-indexed transition row per state *)
+  state_ids : state_id Key_tbl.t;
+  mutable keys : int array array;
+  mutable infos : info array;
+  mutable trans : int array array;
+  mutable n_states : int;
+  mutable n_trans : int;
+  inits : int array; (* nonterminal -> initial state id, or -1 *)
 }
 
-let empty =
+let create anl =
+  let g = Analysis.grammar anl in
   {
-    ids = Key_map.empty;
-    infos = Int_map'.empty;
-    trans = Trans_map.empty;
-    inits = Int_map'.empty;
-    closures = Cfg_map.empty;
-    next = 0;
+    anl;
+    frames = Analysis.frames anl;
+    n_terms = Grammar.num_terminals g;
+    uniq =
+      Array.init
+        (Array.length (Grammar.prods g))
+        (fun ix -> Types.Unique_pred ix);
+    cfg_ids = Config.Sll_tbl.create 256;
+    cfgs = Array.make 256 dummy_cfg;
+    closures = Array.make 256 None;
+    n_cfgs = 0;
+    state_ids = Key_tbl.create 64;
+    keys = Array.make 64 no_row;
+    infos = Array.make 64 dummy_info;
+    trans = Array.make 64 no_row;
+    n_states = 0;
     n_trans = 0;
+    inits = Array.make (max 1 (Grammar.num_nonterminals g)) (-1);
   }
 
-let num_states c = c.next
+let frames c = c.frames
+let analysis c = c.anl
+let num_states c = c.n_states
 let num_transitions c = c.n_trans
+let num_configs c = c.n_cfgs
 
-let find_init c x = Int_map'.find_opt x c.inits
-let add_init c x sid = { c with inits = Int_map'.add x sid c.inits }
+let grow arr count fill =
+  if count < Array.length arr then arr
+  else begin
+    let bigger = Array.make (2 * max 1 (Array.length arr)) fill in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    bigger
+  end
+
+let config_id c cfg =
+  match Config.Sll_tbl.find_opt c.cfg_ids cfg with
+  | Some id -> id
+  | None ->
+    let id = c.n_cfgs in
+    c.cfgs <- grow c.cfgs id dummy_cfg;
+    c.closures <- grow c.closures id None;
+    c.cfgs.(id) <- cfg;
+    Config.Sll_tbl.add c.cfg_ids cfg id;
+    c.n_cfgs <- id + 1;
+    id
+
+let find_init c x = if c.inits.(x) < 0 then None else Some c.inits.(x)
+
+(* Raw variants for the warm prediction fast path: no option/box per call. *)
+let init_get c x = c.inits.(x)
+let unique_pred c ix = c.uniq.(ix)
+
+let add_init c x sid =
+  c.inits.(x) <- sid;
+  c
 
 let is_accepting (cfg : Config.sll) =
-  match cfg.s_ctx, cfg.s_frames with Config.Ctx_accept, [] -> true | _ -> false
+  match cfg.s_ctx with
+  | Config.Ctx_accept -> Frames.spine_is_nil cfg.s_frames
+  | Config.Ctx_nt _ -> false
 
-let compute_info configs =
+let compute_info uniq configs =
   let verdict =
     match Config.preds_of_sll configs with
     | [] -> V_empty
     | [ p ] -> V_all_pred p
     | _ -> V_pending
   in
-  let accepting =
-    Config.preds_of_sll (List.filter is_accepting configs)
+  let accepting = Config.preds_of_sll (List.filter is_accepting configs) in
+  let decided_pred =
+    match verdict with
+    | V_all_pred p -> uniq.(p)
+    | V_empty | V_pending -> Types.Reject_pred
   in
-  { configs; verdict; accepting }
+  let eof_pred =
+    match accepting with
+    | [] -> Types.Reject_pred
+    | [ p ] -> uniq.(p)
+    | p :: _ -> Types.Ambig_pred p
+  in
+  { configs; verdict; accepting; decided_pred; eof_pred }
 
 let intern c configs =
-  match Key_map.find_opt configs c.ids with
+  let key = Array.of_list (List.map (config_id c) configs) in
+  Array.sort (fun (a : int) b -> compare a b) key;
+  match Key_tbl.find_opt c.state_ids key with
   | Some sid -> (c, sid)
   | None ->
-    let sid = c.next in
-    let info = compute_info configs in
-    ( {
-        c with
-        ids = Key_map.add configs sid c.ids;
-        infos = Int_map'.add sid info c.infos;
-        next = sid + 1;
-      },
-      sid )
+    let sid = c.n_states in
+    c.keys <- grow c.keys sid no_row;
+    c.infos <- grow c.infos sid dummy_info;
+    c.trans <- grow c.trans sid no_row;
+    c.keys.(sid) <- key;
+    c.infos.(sid) <- compute_info c.uniq configs;
+    Key_tbl.add c.state_ids key sid;
+    c.n_states <- sid + 1;
+    Instr.record_state_intern ();
+    (c, sid)
 
 let info c sid =
-  match Int_map'.find_opt sid c.infos with
-  | Some i -> i
-  | None -> invalid_arg "Cache.info: unknown state id"
+  if sid < 0 || sid >= c.n_states then
+    invalid_arg "Cache.info: unknown state id"
+  else c.infos.(sid)
 
-let find_trans c sid a = Trans_map.find_opt (sid, a) c.trans
+(* The warm-path transition read: -1 when absent.  [find_trans] wraps it in
+   an option for ordinary callers. *)
+let trans_get c sid a =
+  let row = Array.unsafe_get c.trans sid in
+  if row == no_row then -1 else Array.unsafe_get row a
 
-let find_closure c cfg = Cfg_map.find_opt cfg c.closures
-
-let add_closure c cfg result =
-  { c with closures = Cfg_map.add cfg result c.closures }
+let find_trans c sid a =
+  let s = trans_get c sid a in
+  if s < 0 then None else Some s
 
 let add_trans c sid a sid' =
-  { c with trans = Trans_map.add (sid, a) sid' c.trans; n_trans = c.n_trans + 1 }
+  let row =
+    let row = c.trans.(sid) in
+    if row != no_row then row
+    else begin
+      let row = Array.make (max 1 c.n_terms) (-1) in
+      c.trans.(sid) <- row;
+      row
+    end
+  in
+  (* Idempotent: re-adding an existing transition (e.g. [prepare ~deep]
+     overlapping a later parse of the same state) must not double-count. *)
+  if row.(a) < 0 then begin
+    row.(a) <- sid';
+    c.n_trans <- c.n_trans + 1
+  end;
+  c
+
+let find_closure c cfg =
+  match Config.Sll_tbl.find_opt c.cfg_ids cfg with
+  | None -> None
+  | Some id -> c.closures.(id)
+
+let add_closure c cfg result =
+  c.closures.(config_id c cfg) <- Some result;
+  c
+
+(* An independent cache seeded with this one's contents: subsequent
+   additions to either copy do not affect the other.  State/config ids are
+   preserved.  (Info records and key arrays are immutable once written and
+   are shared; transition rows are mutable and are duplicated.) *)
+let copy c =
+  {
+    c with
+    cfg_ids = Config.Sll_tbl.copy c.cfg_ids;
+    cfgs = Array.copy c.cfgs;
+    closures = Array.copy c.closures;
+    state_ids = Key_tbl.copy c.state_ids;
+    keys = Array.copy c.keys;
+    infos = Array.copy c.infos;
+    trans =
+      Array.map (fun row -> if row == no_row then row else Array.copy row) c.trans;
+    inits = Array.copy c.inits;
+  }
 
 (* Persistence.
 
    The on-disk format is a plain-text header — magic line, format version,
-   grammar fingerprint — followed by the marshalled cache value.  The header
-   is validated *before* any unmarshalling happens, so a wrong file (or a
+   grammar fingerprint, suffix-table digest — followed by a marshalled
+   {e decoded} dump: configurations are stored with their frames expanded
+   back to symbol lists, because interner ids are a per-process artifact.
+   Loading re-interns states in state-id order against the target
+   analysis's own suffix table, reproducing identical ids.  The header is
+   validated *before* any unmarshalling happens, so a wrong file (or a
    cache built for a different grammar or by an incompatible build) is
    rejected without ever feeding untrusted bytes to [Marshal]. *)
 
+type portable_config = {
+  p_pred : int;
+  p_frames : symbol list list;
+  p_ctx : Config.sctx;
+}
+
+type portable = {
+  p_states : portable_config list array; (* state id -> configurations *)
+  p_trans : (int * int * int) list; (* (sid, terminal, sid') *)
+  p_inits : (int * int) list; (* (nonterminal, sid) *)
+  p_closures :
+    (portable_config * (portable_config list * bool, Types.error) result) list;
+}
+
 let magic = "costar/sll-dfa"
-let format_version = 1
+let format_version = 2
+
+let decode_config c (cfg : Config.sll) =
+  {
+    p_pred = cfg.s_pred;
+    p_frames = Frames.frames_of_spine c.frames cfg.s_frames;
+    p_ctx = cfg.s_ctx;
+  }
+
+let encode_config c p =
+  {
+    Config.s_pred = p.p_pred;
+    s_frames = Frames.spine_of_frames c.frames p.p_frames;
+    s_ctx = p.p_ctx;
+  }
+
+let to_portable c =
+  let p_states =
+    Array.init c.n_states (fun sid ->
+        List.map (decode_config c) c.infos.(sid).configs)
+  in
+  let p_trans = ref [] in
+  for sid = c.n_states - 1 downto 0 do
+    let row = c.trans.(sid) in
+    if row != no_row then
+      for a = Array.length row - 1 downto 0 do
+        if row.(a) >= 0 then p_trans := (sid, a, row.(a)) :: !p_trans
+      done
+  done;
+  let p_inits = ref [] in
+  for x = Array.length c.inits - 1 downto 0 do
+    if c.inits.(x) >= 0 then p_inits := (x, c.inits.(x)) :: !p_inits
+  done;
+  let p_closures = ref [] in
+  for id = c.n_cfgs - 1 downto 0 do
+    match c.closures.(id) with
+    | None -> ()
+    | Some r ->
+      let r' =
+        Result.map
+          (fun (stable, forked) -> (List.map (decode_config c) stable, forked))
+          r
+      in
+      p_closures := (decode_config c c.cfgs.(id), r') :: !p_closures
+  done;
+  {
+    p_states;
+    p_trans = !p_trans;
+    p_inits = !p_inits;
+    p_closures = !p_closures;
+  }
+
+let of_portable anl p =
+  let c = create anl in
+  Array.iteri
+    (fun expected_sid pcfgs ->
+      let configs = List.map (encode_config c) pcfgs in
+      let _, sid = intern c configs in
+      if sid <> expected_sid then
+        invalid_arg "Cache.of_portable: inconsistent state numbering")
+    p.p_states;
+  List.iter (fun (sid, a, sid') -> ignore (add_trans c sid a sid')) p.p_trans;
+  List.iter (fun (x, sid) -> ignore (add_init c x sid)) p.p_inits;
+  List.iter
+    (fun (pcfg, r) ->
+      let r' =
+        Result.map
+          (fun (stable, forked) -> (List.map (encode_config c) stable, forked))
+          r
+      in
+      ignore (add_closure c (encode_config c pcfg) r'))
+    p.p_closures;
+  c
 
 let precompile ~fingerprint c =
-  Printf.sprintf "%s\n%d\n%s\n%s" magic format_version fingerprint
-    (Marshal.to_string c [])
+  Printf.sprintf "%s\n%d\n%s\n%s\n%s" magic format_version fingerprint
+    (Frames.fingerprint c.frames)
+    (Marshal.to_string (to_portable c) [])
 
-let of_precompiled ~fingerprint s =
+let of_precompiled ~anl ~fingerprint s =
   let next_line pos =
     match String.index_from_opt s pos '\n' with
     | None -> None
@@ -146,22 +365,36 @@ let of_precompiled ~fingerprint s =
         Error
           (Printf.sprintf
              "unsupported prediction-cache format version %s (this build \
-              reads version %d)"
+              reads version %d); regenerate it with `costar analyze \
+              --emit-cache`"
              v format_version)
       else
         match next_line p2 with
         | None -> Error "corrupt prediction cache (missing fingerprint)"
-        | Some (fp, p3) ->
+        | Some (fp, p3) -> (
           if fp <> fingerprint then
             Error
               "prediction cache was built for a different grammar \
                (fingerprint mismatch); regenerate it with `costar analyze \
                --emit-cache`"
-          else (
-            match (Marshal.from_string s p3 : t) with
-            | exception _ ->
-              Error "corrupt prediction cache (truncated or damaged payload)"
-            | c -> Ok c)))
+          else
+            match next_line p3 with
+            | None -> Error "corrupt prediction cache (missing suffix-table digest)"
+            | Some (fd, p4) ->
+              if fd <> Frames.fingerprint (Analysis.frames anl) then
+                Error
+                  "prediction cache was built against a different suffix \
+                   table (incompatible build); regenerate it with `costar \
+                   analyze --emit-cache`"
+              else (
+                match (Marshal.from_string s p4 : portable) with
+                | exception _ ->
+                  Error
+                    "corrupt prediction cache (truncated or damaged payload)"
+                | p -> (
+                  match of_portable anl p with
+                  | exception Invalid_argument msg -> Error msg
+                  | c -> Ok c)))))
   | _ -> Error "not a costar prediction cache (bad magic)"
 
 let save_precompiled ~fingerprint c file =
@@ -170,7 +403,7 @@ let save_precompiled ~fingerprint c file =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (precompile ~fingerprint c))
 
-let load_precompiled ~fingerprint file =
+let load_precompiled ~anl ~fingerprint file =
   match open_in_bin file with
   | exception Sys_error msg -> Error msg
   | ic ->
@@ -179,4 +412,4 @@ let load_precompiled ~fingerprint file =
       (fun () ->
         match really_input_string ic (in_channel_length ic) with
         | exception _ -> Error (file ^ ": unreadable prediction cache")
-        | s -> of_precompiled ~fingerprint s)
+        | s -> of_precompiled ~anl ~fingerprint s)

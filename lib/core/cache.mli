@@ -1,12 +1,26 @@
-(** The SLL prediction cache: a persistent DFA per decision nonterminal
-    (paper, §3.4).
+(** The SLL prediction cache: a DFA per decision nonterminal (paper, §3.4),
+    interned end to end.
 
-    DFA states are interned canonical sets of SLL configurations; transitions
-    are keyed by (state, terminal).  The cache is a purely functional value
-    threaded through the machine state, exactly as in the Coq development; it
-    only ever grows, and may be carried across parses via
-    {!Parser.run_with_cache}. *)
+    DFA states are interned canonical sets of SLL configurations.
+    Configurations are all-int records ({!Config}), so a state key is the
+    sorted array of its members' dense config ids, hashed once; transitions
+    live in per-state terminal-indexed arrays, making the warm prediction
+    step a pair of array reads ({!trans_get}).
 
+    Unlike the Coq development's purely functional cache, this one is a
+    mutable store (hashtables + growable arrays).  The API keeps the
+    value-threading shape — mutators return [t] — so code written against
+    the functional version still reads naturally, but the returned value is
+    the same object: callers sharing a cache observe each other's additions.
+    Cache contents never influence parse {e results}, only speed
+    (property-tested), so this sharing is benign; use {!copy} where
+    independent growth matters (e.g. cold-cache measurements).
+
+    A cache is bound at {!create} to one grammar's {!Analysis.t} (whose
+    {!Costar_grammar.Frames} table defines the config representation); using
+    it with any other grammar is undefined. *)
+
+open Costar_grammar
 open Costar_grammar.Symbols
 
 type t
@@ -24,15 +38,47 @@ type info = {
   verdict : verdict;
   accepting : int list;
       (** distinct predictions of configurations in accepting position *)
+  decided_pred : Types.prediction;
+      (** preboxed [Unique_pred] when [verdict] is [V_all_pred]; the warm
+          fast path returns this shared value instead of allocating *)
+  eof_pred : Types.prediction;
+      (** preboxed prediction for input ending in this state (from
+          [accepting]: reject, unique, or ambiguous) *)
 }
 
-val empty : t
+(** A fresh, empty cache for this grammar analysis. *)
+val create : Analysis.t -> t
+
+(** The analysis this cache was created against.  A cache must only be
+    consulted through this exact analysis: its configurations are expressed
+    in the analysis's {!Costar_grammar.Frames} interner, whose spine ids
+    depend on runtime interning order, so even another [Analysis.make] of
+    the same grammar is incompatible.  Consumers given a cache without its
+    analysis (the machine, the static analyzer) read it back from here. *)
+val analysis : t -> Analysis.t
+
+(** The frame interner this cache's configurations are expressed in. *)
+val frames : t -> Frames.t
+
+(** An independent cache with the same contents and ids; later additions to
+    either do not affect the other. *)
+val copy : t -> t
 
 val num_states : t -> int
 val num_transitions : t -> int
 
+(** Number of distinct configurations assigned dense ids. *)
+val num_configs : t -> int
+
 (** Initial DFA state for a decision nonterminal, if already computed. *)
 val find_init : t -> nonterminal -> state_id option
+
+(** Raw variant of {!find_init} for the warm prediction loop: the initial
+    state id, or [-1] if not yet computed. *)
+val init_get : t -> nonterminal -> int
+
+(** The shared preallocated [Unique_pred] box for a production index. *)
+val unique_pred : t -> int -> Types.prediction
 
 val add_init : t -> nonterminal -> state_id -> t
 
@@ -44,6 +90,12 @@ val info : t -> state_id -> info
 
 val find_trans : t -> state_id -> terminal -> state_id option
 
+(** Raw transition read for the warm prediction loop: the successor state
+    id, or [-1] if the transition has not been computed. *)
+val trans_get : t -> state_id -> terminal -> int
+
+(** Record a transition.  Idempotent: re-adding an existing transition
+    neither changes the successor nor double-counts {!num_transitions}. *)
 val add_trans : t -> state_id -> terminal -> state_id -> t
 
 (** Memoized single-configuration closures.  The closure of a configuration
@@ -63,23 +115,29 @@ val add_closure :
 (** {1 Persistence}
 
     A cache — typically one fully populated offline by
-    {!Costar_predict_analysis.Analyze.analyze} — can be serialized and
-    reloaded so parses start warm.  The format is a validated plain-text
-    header (magic, format version, grammar fingerprint from
-    {!Costar_grammar.Grammar.fingerprint}) followed by the marshalled cache;
-    the header is checked before any unmarshalling, so loading rejects wrong
-    files, incompatible format versions, and caches built for any other
-    grammar. *)
+    [Costar_predict_analysis.Analyze.analyze] — can be serialized and
+    reloaded so parses start warm.  The format (version 2) is a validated
+    plain-text header — magic, format version, grammar fingerprint from
+    {!Costar_grammar.Grammar.fingerprint}, suffix-table digest from
+    {!Costar_grammar.Frames.fingerprint} — followed by a marshalled decoded
+    dump (configurations with frames expanded back to symbol lists, since
+    interner ids are per-process).  Loading validates the header before any
+    unmarshalling and re-interns states in id order, so it rejects wrong
+    files, incompatible format versions (including v1 files from earlier
+    builds), and caches built for any other grammar, and reproduces
+    identical state ids otherwise. *)
 
 (** Serialize a cache, binding it to the given grammar fingerprint. *)
 val precompile : fingerprint:string -> t -> string
 
-(** Deserialize a precompiled cache, validating magic, version, and grammar
-    fingerprint.  The error is a human-readable reason. *)
-val of_precompiled : fingerprint:string -> string -> (t, string) result
+(** Deserialize a precompiled cache against [anl], validating magic,
+    version, grammar fingerprint and suffix-table digest.  The error is a
+    human-readable reason. *)
+val of_precompiled : anl:Analysis.t -> fingerprint:string -> string -> (t, string) result
 
 (** [save_precompiled ~fingerprint c file] writes {!precompile} to [file]. *)
 val save_precompiled : fingerprint:string -> t -> string -> unit
 
-(** [load_precompiled ~fingerprint file] reads and validates [file]. *)
-val load_precompiled : fingerprint:string -> string -> (t, string) result
+(** [load_precompiled ~anl ~fingerprint file] reads and validates [file]. *)
+val load_precompiled :
+  anl:Analysis.t -> fingerprint:string -> string -> (t, string) result

@@ -6,8 +6,16 @@
     the frames are exhausted, the subparser simulates a return to the
     statically computed caller continuations of the context nonterminal
     (paper, §3.5 "stable return" frames), or accepts if end-of-input is
-    legal there. *)
+    legal there.
 
+    Frames are {e interned}: [s_frames]/[l_frames] is a {!Frames.spine} — a
+    hash-consed stack of frame ids in the grammar's suffix table
+    ({!Costar_grammar.Frames}, owned by the grammar's {!Analysis.t}) — so a
+    configuration is three machine words and compare/hash are O(1).  The
+    pre-interning representation survives as {!Structural.Config}, the
+    differential-testing oracle. *)
+
+open Costar_grammar
 open Costar_grammar.Symbols
 
 (** Truncated-stack context for SLL subparsers. *)
@@ -21,41 +29,51 @@ type sctx =
 
 type sll = {
   s_pred : int;
-  s_frames : symbol list list;
+  s_frames : Frames.spine;
   s_ctx : sctx;
 }
 
 type ll = {
   l_pred : int;
-  l_frames : symbol list list;
+  l_frames : Frames.spine;
 }
 
-let rec compare_frames f1 f2 =
-  match f1, f2 with
-  | [], [] -> 0
-  | [], _ :: _ -> -1
-  | _ :: _, [] -> 1
-  | s1 :: r1, s2 :: r2 ->
-    let c = compare_symbols s1 s2 in
-    if c <> 0 then c else compare_frames r1 r2
+(** [Ctx_accept] maps below every nonterminal id, preserving the structural
+    engine's ordering of contexts relative to nothing in particular — only
+    totality matters. *)
+let ctx_code = function Ctx_nt x -> x | Ctx_accept -> -1
 
-let compare_sctx c1 c2 =
-  match c1, c2 with
-  | Ctx_nt x, Ctx_nt y -> Int.compare x y
-  | Ctx_nt _, Ctx_accept -> -1
-  | Ctx_accept, Ctx_nt _ -> 1
-  | Ctx_accept, Ctx_accept -> 0
+let compare_sctx c1 c2 = Int.compare (ctx_code c1) (ctx_code c2)
 
 let compare_sll c1 c2 =
   let c = Int.compare c1.s_pred c2.s_pred in
   if c <> 0 then c
   else
-    let c = compare_frames c1.s_frames c2.s_frames in
+    let c = Int.compare c1.s_frames c2.s_frames in
     if c <> 0 then c else compare_sctx c1.s_ctx c2.s_ctx
 
 let compare_ll c1 c2 =
   let c = Int.compare c1.l_pred c2.l_pred in
-  if c <> 0 then c else compare_frames c1.l_frames c2.l_frames
+  if c <> 0 then c else Int.compare c1.l_frames c2.l_frames
+
+let equal_sll c1 c2 =
+  c1.s_pred = c2.s_pred
+  && c1.s_frames = c2.s_frames
+  && ctx_code c1.s_ctx = ctx_code c2.s_ctx
+
+let hash_sll c =
+  (((c.s_pred * 0x01000193) lxor (c.s_frames * 0x9e3779b1))
+   lxor (ctx_code c.s_ctx * 0x85ebca6b))
+  land max_int
+
+(** Hash table over SLL configurations (O(1) all-int hashing, no deep
+    structure to traverse). *)
+module Sll_tbl = Hashtbl.Make (struct
+  type t = sll
+
+  let equal = equal_sll
+  let hash = hash_sll
+end)
 
 module Sll_set = Set.Make (struct
   type t = sll
@@ -75,3 +93,9 @@ let preds_of_sll configs =
 
 let preds_of_ll configs =
   List.sort_uniq Int.compare (List.map (fun c -> c.l_pred) configs)
+
+(** Decode a configuration's frames back to symbol lists (diagnostics and
+    persistence; never on the prediction hot path). *)
+let sll_frames fr (c : sll) = Frames.frames_of_spine fr c.s_frames
+
+let ll_frames fr (c : ll) = Frames.frames_of_spine fr c.l_frames

@@ -2,8 +2,10 @@
 
     When [enabled] is set, SLL and LL prediction record, per decision
     nonterminal, how many times they ran and how many tokens of lookahead
-    they consumed.  Used by the benchmark harness and for performance
-    debugging; zero-cost-ish when disabled (one branch per prediction). *)
+    they consumed; the DFA cache additionally counts state interns,
+    transition hits/misses and closure-memo hits/misses.  Used by
+    [costar parse --stats], the benchmark harness and for performance
+    debugging; zero-cost-ish when disabled (one branch per event). *)
 
 let enabled = ref false
 
@@ -30,9 +32,49 @@ let record tbl x n =
 let record_sll x n = if !enabled then record sll_tbl x n
 let record_ll x n = if !enabled then record ll_tbl x n
 
+(** DFA cache counters (see {!Cache} and {!Sll.loop}): how often the warm
+    path hit a precomputed transition vs fell back to closure work, how many
+    states were interned, and how the per-configuration closure memo fared. *)
+type cache_counters = {
+  mutable state_interns : int;
+  mutable trans_hits : int;
+  mutable trans_misses : int;
+  mutable closure_hits : int;
+  mutable closure_misses : int;
+}
+
+let cache =
+  {
+    state_interns = 0;
+    trans_hits = 0;
+    trans_misses = 0;
+    closure_hits = 0;
+    closure_misses = 0;
+  }
+
+let record_state_intern () =
+  if !enabled then cache.state_interns <- cache.state_interns + 1
+
+let record_trans_hit () =
+  if !enabled then cache.trans_hits <- cache.trans_hits + 1
+
+let record_trans_miss () =
+  if !enabled then cache.trans_misses <- cache.trans_misses + 1
+
+let record_closure_hit () =
+  if !enabled then cache.closure_hits <- cache.closure_hits + 1
+
+let record_closure_miss () =
+  if !enabled then cache.closure_misses <- cache.closure_misses + 1
+
 let reset () =
   Hashtbl.reset sll_tbl;
-  Hashtbl.reset ll_tbl
+  Hashtbl.reset ll_tbl;
+  cache.state_interns <- 0;
+  cache.trans_hits <- 0;
+  cache.trans_misses <- 0;
+  cache.closure_hits <- 0;
+  cache.closure_misses <- 0
 
 (** Totals: (sll calls, sll lookahead tokens, ll calls, ll lookahead). *)
 let totals () =
@@ -41,6 +83,9 @@ let totals () =
     sum sll_tbl (fun c -> c.tokens),
     sum ll_tbl (fun c -> c.calls),
     sum ll_tbl (fun c -> c.tokens) )
+
+(** A copy of the current DFA cache counters. *)
+let cache_totals () = { cache with state_interns = cache.state_interns }
 
 (** Per-nonterminal rows sorted by lookahead volume: (nt, mode, calls,
     tokens). *)

@@ -13,18 +13,21 @@ open Costar_grammar
 open Costar_grammar.Symbols
 
 val closure :
-  Grammar.t -> Config.ll list -> (Config.ll list, Types.error) result
+  Grammar.t -> Analysis.t -> Config.ll list -> (Config.ll list, Types.error) result
 
-val move : Config.ll list -> terminal -> Config.ll list
+val move : Analysis.t -> Config.ll list -> terminal -> Config.ll list
 
-(** [init_configs g x conts] launches one subparser per right-hand side of
-    [x]; [conts] is the parser's remaining suffix stack below the decision
-    point (unprocessed symbols only, topmost first). *)
-val init_configs : Grammar.t -> nonterminal -> symbol list list -> Config.ll list
+(** [init_configs g anl x conts] launches one subparser per right-hand side
+    of [x]; [conts] is the parser's remaining suffix stack below the
+    decision point (unprocessed symbols only, topmost first), interned into
+    [anl]'s frame table. *)
+val init_configs :
+  Grammar.t -> Analysis.t -> nonterminal -> symbol list list -> Config.ll list
 
-(** [predict g x conts tokens] runs exact LL prediction. *)
+(** [predict g anl x conts tokens] runs exact LL prediction. *)
 val predict :
   Grammar.t ->
+  Analysis.t ->
   nonterminal ->
   symbol list list ->
   Token.t list ->

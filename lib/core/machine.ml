@@ -30,7 +30,10 @@ type env = {
 
 let make_env g = { g; anl = Analysis.make g }
 
-let init env ?(cache = Cache.empty) tokens =
+let init env ?cache tokens =
+  let cache =
+    match cache with Some c -> c | None -> Cache.create env.anl
+  in
   {
     top =
       {
@@ -57,11 +60,9 @@ let pos_msg = function
       Printf.sprintf "at line %d, column %d" tok.Token.line tok.Token.col
     else "at token " ^ tok.Token.lexeme
 
-(* Defensive name lookup for error messages: input tokens may carry
+(* Defensive name lookups for error messages: input tokens may carry
    terminal ids the grammar never interned. *)
-let safe_terminal_name g a =
-  if a >= 0 && a < Grammar.num_terminals g then Grammar.terminal_name g a
-  else Printf.sprintf "<unknown terminal %d>" a
+let safe_terminal_name = Grammar.safe_terminal_name
 
 let consume env st a suf =
   match st.tokens with
@@ -94,8 +95,12 @@ let push env st x suf =
   if Int_set.mem x st.visited then Step_error (Types.Left_recursive x)
   else
     let conts () = suf :: List.map (fun f -> f.suf) st.frames in
+    (* Predict through the cache's own analysis, not [env.anl]: a supplied
+       cache (precompiled, or built by the static analyzer) expresses its
+       configurations in its own frame interner. *)
     let cache, pred =
-      Predict.adaptive_predict env.g env.anl st.cache x conts st.tokens
+      Predict.adaptive_predict env.g (Cache.analysis st.cache) st.cache x
+        conts st.tokens
     in
     let do_push ix unique =
       let gamma = (Grammar.prod env.g ix).rhs in
@@ -115,7 +120,7 @@ let push env st x suf =
     | Types.Reject_pred ->
       Step_reject
         (Printf.sprintf "no viable alternative for %s %s"
-           (Grammar.nonterminal_name env.g x)
+           (Grammar.safe_nonterminal_name env.g x)
            (pos_msg st.tokens))
     | Types.Error_pred e -> Step_error e
 

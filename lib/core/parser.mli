@@ -28,11 +28,24 @@ val env : t -> Machine.env
 
 (** [run p w] parses the token sequence [w].  The prediction cache starts
     from the parser's static grammar cache — the precomputed initial SLL
-    DFA states of the paper's footnote 7 — and is discarded afterwards;
-    nothing learned from [w] leaks into later runs.  (Cache contents never
-    affect results, only speed; use [run_with_cache p Cache.empty w] for a
-    run with no static cache at all.) *)
+    DFA states of the paper's footnote 7 — and, the cache store being
+    mutable, retains what [w] taught it for later runs on the same parser.
+    (Cache contents never affect results, only speed; use
+    [run_with_cache p (Cache.create (analysis p)) w] for a run with no
+    static cache at all.) *)
 val run : t -> Token.t list -> result
+
+(** The parser's shared base cache: the static grammar cache (initial DFA
+    states, and their first transitions, for every reachable decision),
+    built on first use and then extended by every {!run}.  Exposed for
+    cache-behaviour measurements. *)
+val base_cache : t -> Cache.t
+
+(** [run_cold p w] is {!run} on an independent copy of the static grammar
+    cache: nothing learned from [w] leaks into later runs.  This is the
+    paper tool's per-parse cache behaviour, kept for cold-cache
+    measurements. *)
+val run_cold : t -> Token.t list -> result
 
 (** [run_with_cache p cache w] additionally threads an SLL cache in and out,
     allowing cache reuse across inputs (an extension over the paper's API;

@@ -7,8 +7,9 @@ let adaptive_predict g anl cache x conts tokens =
     (cache, Types.Reject_pred)
   | [ ix ] ->
     (* A single alternative needs no lookahead; SLL would answer
-       [Unique_pred ix] before consuming any token. *)
-    (cache, Types.Unique_pred ix)
+       [Unique_pred ix] before consuming any token.  The box is shared
+       (preallocated per production) — this path runs on every push. *)
+    (cache, Cache.unique_pred cache ix)
   | _ -> (
     match Sll.predict g anl cache x tokens with
     | (_, (Types.Unique_pred _ | Types.Reject_pred | Types.Error_pred _)) as r
@@ -17,4 +18,4 @@ let adaptive_predict g anl cache x conts tokens =
     | cache, Types.Ambig_pred _ ->
       (* The SLL overapproximation saw several survivors; re-predict in
          exact LL mode before committing (paper, §3.4: failover). *)
-      (cache, Ll.predict g x (conts ()) tokens))
+      (cache, Ll.predict g anl x (conts ()) tokens))

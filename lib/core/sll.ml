@@ -9,16 +9,21 @@ exception Left_rec of nonterminal
    top snapshot with [y], and popping a frame restores the caller's
    snapshot (the machine's "remove on return").  Expanding a nonterminal
    already in the top snapshot witnesses a nullable cycle, i.e. genuine
-   left recursion. *)
+   left recursion.
+
+   Frames are interned ids, so inspecting the top symbol is an array read
+   ([Frames.head]) and pushing residues/right-hand sides is a hash-consing
+   [Frames.cons]; the exploration order and semantics are step-for-step
+   those of [Structural.Sll.closure_ext] (the differential oracle). *)
 let closure_ext g anl configs =
-  let seen = ref Sll_set.empty in
+  let fr = Analysis.frames anl in
+  let seen = Sll_tbl.create 64 in
   let stable = ref [] in
   let forked = ref false in
   let rec go cfg vises =
-    if not (Sll_set.mem cfg !seen) then begin
-      seen := Sll_set.add cfg !seen;
-      match cfg.s_frames, vises with
-      | [], _ -> (
+    if not (Sll_tbl.mem seen cfg) then begin
+      Sll_tbl.add seen cfg ();
+      if Frames.spine_is_nil cfg.s_frames then begin
         match cfg.s_ctx with
         | Ctx_accept -> stable := cfg :: !stable
         | Ctx_nt x ->
@@ -30,32 +35,45 @@ let closure_ext g anl configs =
           List.iter
             (fun (y, beta) ->
               go
-                { cfg with s_frames = [ beta ]; s_ctx = Ctx_nt y }
+                { cfg with s_frames = Frames.cons fr beta Frames.nil; s_ctx = Ctx_nt y }
                 [ Int_set.empty ])
-            (Analysis.callers anl x);
+            (Analysis.callers_framed anl x);
           if Analysis.endable anl x then
-            go { cfg with s_frames = []; s_ctx = Ctx_accept } [])
-      | [] :: rest, _ :: vs -> go { cfg with s_frames = rest } vs
-      | (T _ :: _) :: _, _ -> stable := cfg :: !stable
-      | (NT y :: suf) :: rest, vis :: vs ->
-        if Int_set.mem y vis then raise (Left_rec y)
-        else
-          (* Do not stack an empty residue frame: it would pop vacuously
-             later, and during long prediction scans (e.g. the XML
-             attribute loop) such residues otherwise accumulate, making
-             configurations — and hence every set comparison — grow
-             linearly with the scan. *)
-          let frames_below, vises_below =
-            if suf = [] then (rest, vs) else (suf :: rest, vis :: vs)
-          in
-          let vises = Int_set.add y vis :: vises_below in
-          List.iter
-            (fun rhs -> go { cfg with s_frames = rhs :: frames_below } vises)
-            (Grammar.rhss_of g y)
-      | _ :: _, [] -> assert false (* one snapshot per frame *)
+            go { cfg with s_frames = Frames.nil; s_ctx = Ctx_accept } []
+      end
+      else begin
+        let top = Frames.spine_frame fr cfg.s_frames in
+        let rest = Frames.spine_tail fr cfg.s_frames in
+        match Frames.head fr top, vises with
+        | Frames.Empty, _ :: vs -> go { cfg with s_frames = rest } vs
+        | Frames.Term _, _ -> stable := cfg :: !stable
+        | Frames.Nonterm (y, suf), vis :: vs ->
+          if Int_set.mem y vis then raise (Left_rec y)
+          else
+            (* Do not stack an empty residue frame: it would pop vacuously
+               later, and during long prediction scans (e.g. the XML
+               attribute loop) such residues otherwise accumulate, making
+               configurations grow linearly with the scan. *)
+            let frames_below, vises_below =
+              if suf = Frames.empty_frame then (rest, vs)
+              else (Frames.cons fr suf rest, vis :: vs)
+            in
+            let vises = Int_set.add y vis :: vises_below in
+            List.iter
+              (fun ix ->
+                go
+                  { cfg with
+                    s_frames = Frames.cons fr (Frames.rhs_frame fr ix) frames_below
+                  }
+                  vises)
+              (Grammar.prods_of g y)
+        | _, [] -> assert false (* one snapshot per frame *)
+      end
     end
   in
-  let fresh cfg = List.map (fun _ -> Int_set.empty) cfg.s_frames in
+  let fresh cfg =
+    List.init (Frames.spine_length fr cfg.s_frames) (fun _ -> Int_set.empty)
+  in
   match List.iter (fun c -> go c (fresh c)) configs with
   | () -> Ok (List.sort_uniq compare_sll !stable, !forked)
   | exception Left_rec x -> Error (Types.Left_recursive x)
@@ -70,8 +88,11 @@ let closure_cached_ext g anl cache configs =
     | cfg :: rest -> (
       let cache, result =
         match Cache.find_closure cache cfg with
-        | Some r -> (cache, r)
+        | Some r ->
+          Instr.record_closure_hit ();
+          (cache, r)
         | None ->
+          Instr.record_closure_miss ();
           let r = closure_ext g anl [ cfg ] in
           (Cache.add_closure cache cfg r, r)
       in
@@ -85,19 +106,31 @@ let closure_cached g anl cache configs =
   let cache, result = closure_cached_ext g anl cache configs in
   (cache, Result.map fst result)
 
-let move configs a =
+let move anl configs a =
+  let fr = Analysis.frames anl in
   List.filter_map
     (fun cfg ->
-      match cfg.s_frames with
-      | (T a' :: suf) :: rest when a' = a ->
-        Some { cfg with s_frames = suf :: rest }
-      | _ -> None)
+      if Frames.spine_is_nil cfg.s_frames then None
+      else
+        match Frames.head fr (Frames.spine_frame fr cfg.s_frames) with
+        | Frames.Term (a', residue) when a' = a ->
+          Some
+            { cfg with
+              s_frames =
+                Frames.cons fr residue (Frames.spine_tail fr cfg.s_frames)
+            }
+        | _ -> None)
     configs
 
-let init_configs g x =
+let init_configs g anl x =
+  let fr = Analysis.frames anl in
   List.map
     (fun ix ->
-      { s_pred = ix; s_frames = [ (Grammar.prod g ix).rhs ]; s_ctx = Ctx_nt x })
+      {
+        s_pred = ix;
+        s_frames = Frames.cons fr (Frames.rhs_frame fr ix) Frames.nil;
+        s_ctx = Ctx_nt x;
+      })
     (Grammar.prods_of g x)
 
 let rec loop g anl depth cache sid tokens =
@@ -112,23 +145,34 @@ let rec loop g anl depth cache sid tokens =
       | [] -> (cache, Types.Reject_pred, depth)
       | [ p ] -> (cache, Types.Unique_pred p, depth)
       | p :: _ -> (cache, Types.Ambig_pred p, depth))
-    | tok :: rest -> (
+    | tok :: rest ->
       let a = tok.Token.term in
-      match Cache.find_trans cache sid a with
-      | Some sid' -> loop g anl (depth + 1) cache sid' rest
-      | None -> (
-        match closure_cached g anl cache (move info.Cache.configs a) with
+      (* Warm path: a pair of array reads. *)
+      let sid' = Cache.trans_get cache sid a in
+      if sid' >= 0 then begin
+        Instr.record_trans_hit ();
+        loop g anl (depth + 1) cache sid' rest
+      end
+      else begin
+        Instr.record_trans_miss ();
+        match closure_cached g anl cache (move anl info.Cache.configs a) with
         | cache, Error e -> (cache, Types.Error_pred e, depth)
         | cache, Ok configs' ->
           let cache, sid' = Cache.intern cache configs' in
           let cache = Cache.add_trans cache sid a sid' in
-          loop g anl (depth + 1) cache sid' rest)))
+          loop g anl (depth + 1) cache sid' rest
+      end)
 
 let init g anl sid_cache x =
+  (* Spine ids only mean something in the interner they were created in, so
+     a cache consulted through a different analysis would read garbage; fail
+     loudly instead. *)
+  if Cache.frames sid_cache != Analysis.frames anl then
+    invalid_arg "Sll: cache belongs to a different analysis";
   match Cache.find_init sid_cache x with
   | Some sid -> Ok (sid_cache, sid)
   | None -> (
-    match closure_cached g anl sid_cache (init_configs g x) with
+    match closure_cached g anl sid_cache (init_configs g anl x) with
     | _, Error e -> Error e
     | cache, Ok configs ->
       let cache, sid = Cache.intern cache configs in
@@ -151,7 +195,7 @@ let prepare ?(deep = false) g anl cache x =
         let cache = ref cache in
         for a = 0 to Grammar.num_terminals g - 1 do
           if Cache.find_trans !cache sid a = None then
-            match closure_cached g anl !cache (move info.Cache.configs a) with
+            match closure_cached g anl !cache (move anl info.Cache.configs a) with
             | cache', Error _ -> cache := cache'
             | cache', Ok configs' ->
               let cache', sid' = Cache.intern cache' configs' in
@@ -160,10 +204,44 @@ let prepare ?(deep = false) g anl cache x =
         !cache
     end
 
-let predict g anl cache x tokens =
+let predict_general g anl cache x tokens =
   match init g anl cache x with
   | Error e -> (cache, Types.Error_pred e)
   | Ok (cache, sid) ->
     let cache, result, depth = loop g anl 0 cache sid tokens in
     Instr.record_sll x depth;
     (cache, result)
+
+exception Fast_miss
+
+(* Allocation-free walk over already-computed DFA transitions, returning
+   preboxed verdicts; raises [Fast_miss] on the first uncomputed edge.  It
+   never touches configurations or frames — only per-state verdicts and
+   int transition rows — so it does not need the interner-identity guard of
+   [init] (those facts are grammar-level and interner-independent). *)
+let rec fast_verdict cache sid tokens =
+  let info = Cache.info cache sid in
+  match info.Cache.verdict with
+  | Cache.V_empty -> Types.Reject_pred
+  | Cache.V_all_pred _ -> info.Cache.decided_pred
+  | Cache.V_pending -> (
+    match tokens with
+    | [] -> info.Cache.eof_pred
+    | tok :: rest ->
+      let sid' = Cache.trans_get cache sid tok.Token.term in
+      if sid' >= 0 then fast_verdict cache sid' rest
+      else raise_notrace Fast_miss)
+
+let predict g anl cache x tokens =
+  (* Warm fast path: once the relevant DFA fragment exists, a prediction is
+     a chain of array reads ending in a preboxed verdict.  Any miss (or
+     instrumentation, which wants depth counts) falls back to the general
+     loop, which re-walks the short prefix and extends the DFA. *)
+  if !Instr.enabled then predict_general g anl cache x tokens
+  else
+    let sid0 = Cache.init_get cache x in
+    if sid0 < 0 then predict_general g anl cache x tokens
+    else
+      match fast_verdict cache sid0 tokens with
+      | p -> (cache, p)
+      | exception Fast_miss -> predict_general g anl cache x tokens

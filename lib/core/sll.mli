@@ -25,6 +25,16 @@ val closure :
   Config.sll list ->
   (Config.sll list, Types.error) result
 
+(** Like {!closure}, but additionally reports whether the closure performed
+    a stable-return fork (see {!closure_cached_ext}).  The uncached
+    primitive both cached variants build on; exposed for the differential
+    tests against [Structural.Sll.closure_ext]. *)
+val closure_ext :
+  Grammar.t ->
+  Analysis.t ->
+  Config.sll list ->
+  (Config.sll list * bool, Types.error) result
+
 (** [closure_cached g a cache configs] is {!closure} through the cache's
     per-configuration memo table: the closure of a set is the union of its
     members' closures, so single-configuration results are reusable across
@@ -50,13 +60,13 @@ val closure_cached_ext :
   Config.sll list ->
   Cache.t * (Config.sll list * bool, Types.error) result
 
-(** [move configs a] advances every stable configuration whose top symbol is
-    the terminal [a]; accepting configurations are dropped. *)
-val move : Config.sll list -> terminal -> Config.sll list
+(** [move anl configs a] advances every stable configuration whose top
+    symbol is the terminal [a]; accepting configurations are dropped. *)
+val move : Analysis.t -> Config.sll list -> terminal -> Config.sll list
 
 (** Initial configuration set for a decision nonterminal: one configuration
     per right-hand side. *)
-val init_configs : Grammar.t -> nonterminal -> Config.sll list
+val init_configs : Grammar.t -> Analysis.t -> nonterminal -> Config.sll list
 
 (** [prepare g a cache x] precomputes and interns the initial DFA state for
     decision nonterminal [x] (a no-op if already present, or if the closure

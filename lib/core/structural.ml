@@ -1,0 +1,408 @@
+(** The pre-interning structural prediction engine, kept as the
+    differential-testing oracle.
+
+    These are the original [Config]/[Cache]/[Sll]/[Ll] implementations in
+    which a frame is a [symbol list], a configuration carries its frames
+    directly, DFA states are keyed by canonical configuration {e lists} and
+    transitions live in a balanced map.  The interned engine in the sibling
+    modules must be observably equivalent — same predictions, verdicts and
+    fork flags on every grammar and input — and [test/test_intern.ml] checks
+    exactly that against this module.  [Costar_turbo] also builds on this
+    engine so the "unverified baseline" keeps its original representation.
+
+    Persistence is deliberately absent: the on-disk cache format belongs to
+    the interned engine ({!Cache}, format v2). *)
+
+open Costar_grammar
+open Costar_grammar.Symbols
+
+module Config = struct
+  type sctx =
+    | Ctx_nt of nonterminal
+    | Ctx_accept
+
+  type sll = {
+    s_pred : int;
+    s_frames : symbol list list;
+    s_ctx : sctx;
+  }
+
+  type ll = {
+    l_pred : int;
+    l_frames : symbol list list;
+  }
+
+  let rec compare_frames f1 f2 =
+    match f1, f2 with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | s1 :: r1, s2 :: r2 ->
+      let c = compare_symbols s1 s2 in
+      if c <> 0 then c else compare_frames r1 r2
+
+  let compare_sctx c1 c2 =
+    match c1, c2 with
+    | Ctx_nt x, Ctx_nt y -> Int.compare x y
+    | Ctx_nt _, Ctx_accept -> -1
+    | Ctx_accept, Ctx_nt _ -> 1
+    | Ctx_accept, Ctx_accept -> 0
+
+  let compare_sll c1 c2 =
+    let c = Int.compare c1.s_pred c2.s_pred in
+    if c <> 0 then c
+    else
+      let c = compare_frames c1.s_frames c2.s_frames in
+      if c <> 0 then c else compare_sctx c1.s_ctx c2.s_ctx
+
+  let compare_ll c1 c2 =
+    let c = Int.compare c1.l_pred c2.l_pred in
+    if c <> 0 then c else compare_frames c1.l_frames c2.l_frames
+
+  module Sll_set = Set.Make (struct
+    type t = sll
+
+    let compare = compare_sll
+  end)
+
+  module Ll_set = Set.Make (struct
+    type t = ll
+
+    let compare = compare_ll
+  end)
+
+  let preds_of_sll configs =
+    List.sort_uniq Int.compare (List.map (fun c -> c.s_pred) configs)
+
+  let preds_of_ll configs =
+    List.sort_uniq Int.compare (List.map (fun c -> c.l_pred) configs)
+end
+
+module Cache = struct
+  type state_id = int
+
+  type verdict =
+    | V_empty
+    | V_all_pred of int
+    | V_pending
+
+  type info = {
+    configs : Config.sll list;
+    verdict : verdict;
+    accepting : int list;
+  }
+
+  module Key = struct
+    type t = Config.sll list
+
+    let rec compare l1 l2 =
+      match l1, l2 with
+      | [], [] -> 0
+      | [], _ :: _ -> -1
+      | _ :: _, [] -> 1
+      | c1 :: r1, c2 :: r2 ->
+        let c = Config.compare_sll c1 c2 in
+        if c <> 0 then c else compare r1 r2
+  end
+
+  module Key_map = Map.Make (Key)
+  module Int_map' = Map.Make (Int)
+
+  module Trans_key = struct
+    type t = state_id * terminal
+
+    let compare (s1, a1) (s2, a2) =
+      let c = Int.compare s1 s2 in
+      if c <> 0 then c else Int.compare a1 a2
+  end
+
+  module Trans_map = Map.Make (Trans_key)
+
+  module Cfg_map = Map.Make (struct
+    type t = Config.sll
+
+    let compare = Config.compare_sll
+  end)
+
+  type t = {
+    ids : state_id Key_map.t;
+    infos : info Int_map'.t;
+    trans : state_id Trans_map.t;
+    inits : state_id Int_map'.t;
+    closures : (Config.sll list * bool, Types.error) result Cfg_map.t;
+    next : int;
+    n_trans : int;
+  }
+
+  let empty =
+    {
+      ids = Key_map.empty;
+      infos = Int_map'.empty;
+      trans = Trans_map.empty;
+      inits = Int_map'.empty;
+      closures = Cfg_map.empty;
+      next = 0;
+      n_trans = 0;
+    }
+
+  let num_states c = c.next
+  let num_transitions c = c.n_trans
+
+  let find_init c x = Int_map'.find_opt x c.inits
+  let add_init c x sid = { c with inits = Int_map'.add x sid c.inits }
+
+  let is_accepting (cfg : Config.sll) =
+    match cfg.s_ctx, cfg.s_frames with
+    | Config.Ctx_accept, [] -> true
+    | _ -> false
+
+  let compute_info configs =
+    let verdict =
+      match Config.preds_of_sll configs with
+      | [] -> V_empty
+      | [ p ] -> V_all_pred p
+      | _ -> V_pending
+    in
+    let accepting = Config.preds_of_sll (List.filter is_accepting configs) in
+    { configs; verdict; accepting }
+
+  let intern c configs =
+    match Key_map.find_opt configs c.ids with
+    | Some sid -> (c, sid)
+    | None ->
+      let sid = c.next in
+      let info = compute_info configs in
+      ( {
+          c with
+          ids = Key_map.add configs sid c.ids;
+          infos = Int_map'.add sid info c.infos;
+          next = sid + 1;
+        },
+        sid )
+
+  let info c sid =
+    match Int_map'.find_opt sid c.infos with
+    | Some i -> i
+    | None -> invalid_arg "Structural.Cache.info: unknown state id"
+
+  let find_trans c sid a = Trans_map.find_opt (sid, a) c.trans
+
+  let find_closure c cfg = Cfg_map.find_opt cfg c.closures
+
+  let add_closure c cfg result =
+    { c with closures = Cfg_map.add cfg result c.closures }
+
+  let add_trans c sid a sid' =
+    if Trans_map.mem (sid, a) c.trans then c
+    else
+      {
+        c with
+        trans = Trans_map.add (sid, a) sid' c.trans;
+        n_trans = c.n_trans + 1;
+      }
+end
+
+module Sll = struct
+  open Config
+
+  exception Left_rec of nonterminal
+
+  (* Closure carries one visited-set snapshot per frame, mirroring the
+     machine's visited set; see the interned [Sll.closure_ext] for the full
+     commentary — the two implementations must stay step-for-step
+     equivalent. *)
+  let closure_ext g anl configs =
+    let seen = ref Sll_set.empty in
+    let stable = ref [] in
+    let forked = ref false in
+    let rec go cfg vises =
+      if not (Sll_set.mem cfg !seen) then begin
+        seen := Sll_set.add cfg !seen;
+        match cfg.s_frames, vises with
+        | [], _ -> (
+          match cfg.s_ctx with
+          | Ctx_accept -> stable := cfg :: !stable
+          | Ctx_nt x ->
+            forked := true;
+            List.iter
+              (fun (y, beta) ->
+                go
+                  { cfg with s_frames = [ beta ]; s_ctx = Ctx_nt y }
+                  [ Int_set.empty ])
+              (Analysis.callers anl x);
+            if Analysis.endable anl x then
+              go { cfg with s_frames = []; s_ctx = Ctx_accept } [])
+        | [] :: rest, _ :: vs -> go { cfg with s_frames = rest } vs
+        | (T _ :: _) :: _, _ -> stable := cfg :: !stable
+        | (NT y :: suf) :: rest, vis :: vs ->
+          if Int_set.mem y vis then raise (Left_rec y)
+          else
+            let frames_below, vises_below =
+              if suf = [] then (rest, vs) else (suf :: rest, vis :: vs)
+            in
+            let vises = Int_set.add y vis :: vises_below in
+            List.iter
+              (fun rhs -> go { cfg with s_frames = rhs :: frames_below } vises)
+              (Grammar.rhss_of g y)
+        | _ :: _, [] -> assert false (* one snapshot per frame *)
+      end
+    in
+    let fresh cfg = List.map (fun _ -> Int_set.empty) cfg.s_frames in
+    match List.iter (fun c -> go c (fresh c)) configs with
+    | () -> Ok (List.sort_uniq compare_sll !stable, !forked)
+    | exception Left_rec x -> Error (Types.Left_recursive x)
+
+  let closure g anl configs = Result.map fst (closure_ext g anl configs)
+
+  let closure_cached_ext g anl cache configs =
+    let rec go cache acc forked = function
+      | [] -> (cache, Ok (List.sort_uniq compare_sll (List.concat acc), forked))
+      | cfg :: rest -> (
+        let cache, result =
+          match Cache.find_closure cache cfg with
+          | Some r -> (cache, r)
+          | None ->
+            let r = closure_ext g anl [ cfg ] in
+            (Cache.add_closure cache cfg r, r)
+        in
+        match result with
+        | Error e -> (cache, Error e)
+        | Ok (stable, f) -> go cache (stable :: acc) (forked || f) rest)
+    in
+    go cache [] false configs
+
+  let closure_cached g anl cache configs =
+    let cache, result = closure_cached_ext g anl cache configs in
+    (cache, Result.map fst result)
+
+  let move configs a =
+    List.filter_map
+      (fun cfg ->
+        match cfg.s_frames with
+        | (T a' :: suf) :: rest when a' = a ->
+          Some { cfg with s_frames = suf :: rest }
+        | _ -> None)
+      configs
+
+  let init_configs g x =
+    List.map
+      (fun ix ->
+        { s_pred = ix; s_frames = [ (Grammar.prod g ix).rhs ]; s_ctx = Ctx_nt x })
+      (Grammar.prods_of g x)
+
+  let rec loop g anl depth cache sid tokens =
+    let info = Cache.info cache sid in
+    match info.Cache.verdict with
+    | Cache.V_empty -> (cache, Types.Reject_pred, depth)
+    | Cache.V_all_pred p -> (cache, Types.Unique_pred p, depth)
+    | Cache.V_pending -> (
+      match tokens with
+      | [] -> (
+        match info.Cache.accepting with
+        | [] -> (cache, Types.Reject_pred, depth)
+        | [ p ] -> (cache, Types.Unique_pred p, depth)
+        | p :: _ -> (cache, Types.Ambig_pred p, depth))
+      | tok :: rest -> (
+        let a = tok.Token.term in
+        match Cache.find_trans cache sid a with
+        | Some sid' -> loop g anl (depth + 1) cache sid' rest
+        | None -> (
+          match closure_cached g anl cache (move info.Cache.configs a) with
+          | cache, Error e -> (cache, Types.Error_pred e, depth)
+          | cache, Ok configs' ->
+            let cache, sid' = Cache.intern cache configs' in
+            let cache = Cache.add_trans cache sid a sid' in
+            loop g anl (depth + 1) cache sid' rest)))
+
+  let init g anl sid_cache x =
+    match Cache.find_init sid_cache x with
+    | Some sid -> Ok (sid_cache, sid)
+    | None -> (
+      match closure_cached g anl sid_cache (init_configs g x) with
+      | _, Error e -> Error e
+      | cache, Ok configs ->
+        let cache, sid = Cache.intern cache configs in
+        Ok (Cache.add_init cache x sid, sid))
+
+  let predict g anl cache x tokens =
+    match init g anl cache x with
+    | Error e -> (cache, Types.Error_pred e)
+    | Ok (cache, sid) ->
+      let cache, result, depth = loop g anl 0 cache sid tokens in
+      Instr.record_sll x depth;
+      (cache, result)
+end
+
+module Ll = struct
+  open Config
+
+  exception Left_rec of nonterminal
+
+  let closure g configs =
+    let seen = ref Ll_set.empty in
+    let stable = ref [] in
+    let rec go cfg vises =
+      if not (Ll_set.mem cfg !seen) then begin
+        seen := Ll_set.add cfg !seen;
+        match cfg.l_frames, vises with
+        | [], _ -> stable := cfg :: !stable
+        | [] :: rest, _ :: vs -> go { cfg with l_frames = rest } vs
+        | (T _ :: _) :: _, _ -> stable := cfg :: !stable
+        | (NT y :: suf) :: rest, vis :: vs ->
+          if Int_set.mem y vis then raise (Left_rec y)
+          else
+            let frames_below, vises_below =
+              if suf = [] then (rest, vs) else (suf :: rest, vis :: vs)
+            in
+            let vises = Int_set.add y vis :: vises_below in
+            List.iter
+              (fun rhs -> go { cfg with l_frames = rhs :: frames_below } vises)
+              (Grammar.rhss_of g y)
+        | _ :: _, [] -> assert false (* one snapshot per frame *)
+      end
+    in
+    let fresh cfg = List.map (fun _ -> Int_set.empty) cfg.l_frames in
+    match List.iter (fun c -> go c (fresh c)) configs with
+    | () -> Ok (List.sort_uniq compare_ll !stable)
+    | exception Left_rec x -> Error (Types.Left_recursive x)
+
+  let move configs a =
+    List.filter_map
+      (fun cfg ->
+        match cfg.l_frames with
+        | (T a' :: suf) :: rest when a' = a ->
+          Some { cfg with l_frames = suf :: rest }
+        | _ -> None)
+      configs
+
+  let init_configs g x conts =
+    List.map
+      (fun ix -> { l_pred = ix; l_frames = (Grammar.prod g ix).rhs :: conts })
+      (Grammar.prods_of g x)
+
+  let is_accepting cfg = cfg.l_frames = []
+
+  let predict g x conts tokens =
+    let rec loop depth configs tokens =
+      match preds_of_ll configs with
+      | [] -> (Types.Reject_pred, depth)
+      | [ p ] -> (Types.Unique_pred p, depth)
+      | _ -> (
+        match tokens with
+        | [] -> (
+          match preds_of_ll (List.filter is_accepting configs) with
+          | [] -> (Types.Reject_pred, depth)
+          | [ p ] -> (Types.Unique_pred p, depth)
+          | p :: _ -> (Types.Ambig_pred p, depth))
+        | tok :: rest -> (
+          match closure g (move configs tok.Token.term) with
+          | Error e -> (Types.Error_pred e, depth)
+          | Ok configs' -> loop (depth + 1) configs' rest))
+    in
+    match closure g (init_configs g x conts) with
+    | Error e -> Types.Error_pred e
+    | Ok configs ->
+      let result, depth = loop 0 configs tokens in
+      Instr.record_ll x depth;
+      result
+end

@@ -29,4 +29,7 @@ let pp_error ppf = function
 let error_to_string g = function
   | Invalid_state msg -> "invalid parser state: " ^ msg
   | Left_recursive x ->
-    "left-recursive nonterminal " ^ Costar_grammar.Grammar.nonterminal_name g x
+    (* [x] may come from deserialized data (e.g. a memoized closure error in
+       a precompiled cache), so the lookup must not trust its range. *)
+    "left-recursive nonterminal "
+    ^ Costar_grammar.Grammar.safe_nonterminal_name g x

@@ -13,6 +13,10 @@ type t = {
   min_yield : terminal list array;
       (* shortest terminal yield per nonterminal; meaningful only where
          [productive] holds *)
+  frames : Frames.t;
+  callers_framed : (nonterminal * Frames.frame) list array;
+      (* [callers] with each continuation pre-interned, so stable-return
+         forks in the closure hot path never touch symbol lists *)
 }
 
 (* Iterate [f] until it reports no change. *)
@@ -223,6 +227,12 @@ let make g =
   let callers = compute_callers g in
   let endable = compute_endable g nullable callers in
   let min_yield = compute_min_yield g productive in
+  let frames = Frames.make g in
+  let callers_framed =
+    Array.map
+      (List.map (fun (y, beta) -> (y, Frames.frame_of_syms frames beta)))
+      callers
+  in
   {
     g;
     nullable;
@@ -234,6 +244,8 @@ let make g =
     callers;
     endable;
     min_yield;
+    frames;
+    callers_framed;
   }
 
 let grammar a = a.g
@@ -246,6 +258,8 @@ let follow_end a x = a.follow_end.(x)
 let reachable a x = a.reachable.(x)
 let productive a x = a.productive.(x)
 let callers a x = a.callers.(x)
+let callers_framed a x = a.callers_framed.(x)
+let frames a = a.frames
 let endable a x = a.endable.(x)
 let min_yield a x = if a.productive.(x) then Some a.min_yield.(x) else None
 

@@ -47,6 +47,14 @@ val productive : t -> nonterminal -> bool
     Duplicate [(y, beta)] pairs are collapsed. *)
 val callers : t -> nonterminal -> (nonterminal * symbol list) list
 
+(** {!callers} with each continuation pre-interned in {!frames}: the form
+    the SLL closure consumes on its hot path. *)
+val callers_framed : t -> nonterminal -> (nonterminal * Frames.frame) list
+
+(** The per-grammar frame/spine interner (built by {!make}; see
+    {!Frames}). *)
+val frames : t -> Frames.t
+
 (** [endable a x] iff some derivation from the start symbol can end with the
     yield of [x] (the start symbol is endable; if [y] is endable and
     [y -> alpha x beta] with [beta] nullable, then [x] is endable). *)

@@ -1,7 +1,13 @@
 open Costar_grammar
 open Costar_grammar.Symbols
 module Core = Costar_core
-module Config = Core.Config
+
+(* Turbo is the "unverified baseline": it deliberately builds on the
+   structural (pre-interning) engine, so the interned core is measured
+   against an independent representation. *)
+module Config = Core.Structural.Config
+module Sll = Core.Structural.Sll
+module Ll = Core.Structural.Ll
 
 (* Deep-hashing hash tables: the default [Hashtbl.hash] inspects only ~10
    nodes, which makes every large configuration key collide; these traverse
@@ -137,7 +143,7 @@ let closure t configs =
         match Cfg_tbl.find_opt t.closure_memo cfg with
         | Some r -> r
         | None ->
-          let r = Core.Sll.closure t.g t.anl [ cfg ] in
+          let r = Sll.closure t.g t.anl [ cfg ] in
           Cfg_tbl.add t.closure_memo cfg r;
           r
       in
@@ -153,7 +159,7 @@ let sll_predict t x toks n pos0 =
   let init () =
     if t.inits.(x) >= 0 then Ok t.inits.(x)
     else
-      match closure t (Core.Sll.init_configs t.g x) with
+      match closure t (Sll.init_configs t.g x) with
       | Error e -> Error e
       | Ok configs ->
         let sid = intern t configs in
@@ -178,7 +184,7 @@ let sll_predict t x toks n pos0 =
         match Hashtbl.find_opt t.trans key with
         | Some sid' -> walk sid' (pos + 1)
         | None -> (
-          match closure t (Core.Sll.move info.configs a) with
+          match closure t (Sll.move info.configs a) with
           | Error e -> Core.Types.Error_pred e
           | Ok configs' ->
             let sid' = intern t configs' in
@@ -212,7 +218,7 @@ let predict t toks n pos x conts =
       match sll_predict t x toks n pos with
       | Core.Types.Ambig_pred _ ->
         (* Failover to exact LL prediction, as the verified parser does. *)
-        Core.Ll.predict t.g x (conts ()) (rest_list toks n pos)
+        Ll.predict t.g x (conts ()) (rest_list toks n pos)
       | verdict -> verdict
 
 let parse t token_list =

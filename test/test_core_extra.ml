@@ -60,7 +60,7 @@ let test_empty_cache_equivalent () =
   let p = Parser.make list_grammar in
   let w = Grammar.tokens list_grammar [ "x"; "x" ] in
   let r1 = Parser.run p w in
-  let r2, _ = Parser.run_with_cache p Cache.empty w in
+  let r2, _ = Parser.run_with_cache p (Cache.create (Parser.analysis p)) w in
   match r1, r2 with
   | Parser.Unique v1, Parser.Unique v2 -> check "same tree" true (Tree.equal v1 v2)
   | _ -> Alcotest.fail "expected Unique twice"

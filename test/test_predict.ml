@@ -19,10 +19,11 @@ let prod_ix g lhs k =
 
 let sll_predict g x w =
   let anl = Analysis.make g in
-  snd (Sll.predict g anl Cache.empty (nt g x) (Grammar.tokens g w))
+  snd (Sll.predict g anl (Cache.create anl) (nt g x) (Grammar.tokens g w))
 
 let ll_predict g x conts w =
-  Ll.predict g (nt g x) conts (Grammar.tokens g w)
+  let anl = Analysis.make g in
+  Ll.predict g anl (nt g x) conts (Grammar.tokens g w)
 
 (* Fig. 2 grammar *)
 let fig2 =
@@ -170,7 +171,7 @@ let test_cache_growth_and_reuse () =
   let anl = Analysis.make fig2 in
   let x = nt fig2 "S" in
   let w = Grammar.tokens fig2 [ "a"; "a"; "b"; "d" ] in
-  let cache, _ = Sll.predict fig2 anl Cache.empty x w in
+  let cache, _ = Sll.predict fig2 anl (Cache.create anl) x w in
   let states1 = Cache.num_states cache in
   let trans1 = Cache.num_transitions cache in
   check "states interned" true (states1 > 0);
@@ -183,13 +184,13 @@ let test_cache_growth_and_reuse () =
 let test_prepare () =
   let anl = Analysis.make fig2 in
   let x = nt fig2 "S" in
-  let cache = Sll.prepare fig2 anl Cache.empty x in
+  let cache = Sll.prepare fig2 anl (Cache.create anl) x in
   check "init present" true (Cache.find_init cache x <> None);
-  let deep = Sll.prepare ~deep:true fig2 anl Cache.empty x in
+  let deep = Sll.prepare ~deep:true fig2 anl (Cache.create anl) x in
   check "deep adds transitions" true (Cache.num_transitions deep > 0);
   (* Results are identical with or without preparation. *)
   let w = Grammar.tokens fig2 [ "b"; "d" ] in
-  let _, r1 = Sll.predict fig2 anl Cache.empty x w in
+  let _, r1 = Sll.predict fig2 anl (Cache.create anl) x w in
   let _, r2 = Sll.predict fig2 anl deep x w in
   check "prepared = unprepared" true (r1 = r2)
 
@@ -201,9 +202,11 @@ let test_closure_cached_consistency () =
          let anl = Analysis.make g in
          List.for_all
            (fun x ->
-             let configs = Sll.init_configs g x in
+             let configs = Sll.init_configs g anl x in
              let direct = Sll.closure g anl configs in
-             let _, cached = Sll.closure_cached g anl Cache.empty configs in
+             let _, cached =
+               Sll.closure_cached g anl (Cache.create anl) configs
+             in
              match direct, cached with
              | Ok l1, Ok l2 ->
                List.length l1 = List.length l2
@@ -220,7 +223,7 @@ let test_single_production_shortcut () =
   in
   let anl = Analysis.make g in
   let cache, pred =
-    Predict.adaptive_predict g anl Cache.empty (nt g "S")
+    Predict.adaptive_predict g anl (Cache.create anl) (nt g "S")
       (fun () -> [ [] ])
       (Grammar.tokens g [ "a"; "b" ])
   in

@@ -112,7 +112,9 @@ let prop_cache_reuse_stable =
       let word = toks g w in
       let p = Parser.make g in
       let r1 = Parser.run p word in
-      let _, cache = Parser.run_with_cache p Cache.empty word in
+      let _, cache =
+        Parser.run_with_cache p (Cache.create (Parser.analysis p)) word
+      in
       let r2, _ = Parser.run_with_cache p cache word in
       let same =
         match r1, r2 with
@@ -145,8 +147,8 @@ let prop_sll_overapproximates_ll =
         then true
         else
           let anl = Analysis.make g in
-          let _, sll = Sll.predict g anl Cache.empty x word in
-          let ll = Ll.predict g x [ [] ] word in
+          let _, sll = Sll.predict g anl (Cache.create anl) x word in
+          let ll = Ll.predict g anl x [ [] ] word in
           let not_stuck = function
             | Types.Reject_pred | Types.Error_pred _ -> false
             | Types.Unique_pred _ | Types.Ambig_pred _ -> true
