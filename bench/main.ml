@@ -10,6 +10,7 @@
      E9  --only earley    general-CFG baseline vs CoStar (§7 claim)
      E12 --only precache  offline DFA precompilation: analyze once, parse warm
      E13 --only intern    interned prediction hot path: cold vs warm us/token
+     E14 --only pipeline  zero-copy token pipeline: list vs buffer MB/s
 
    With no --only option, all experiments run.  --quick shrinks the corpora
    (used for smoke checks); --bechamel additionally runs one Bechamel
@@ -40,7 +41,7 @@ let parse_args () =
       ( "--only",
         Arg.String (fun s -> only := Some s),
         "<exp> run one experiment: \
-         fig8|fig9|fig10|fig11|ll1|ablation|earley|lookahead|gss|precache|intern" );
+         fig8|fig9|fig10|fig11|ll1|ablation|earley|lookahead|gss|precache|intern|pipeline" );
       ("--bechamel", Arg.Set bech, " also run Bechamel micro-benchmarks");
     ]
   in
@@ -716,6 +717,74 @@ let intern_bench cfg corpora =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E14: zero-copy token pipeline — end-to-end lex+parse throughput     *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_bench cfg corpora =
+  print_endline
+    "== E14: zero-copy token pipeline (equivalence-classed DFA, \
+     struct-of-arrays buffer, array cursor) ==";
+  print_endline
+    "(end-to-end source-to-tree: tokenize + parse per sample, warm shared \
+     prediction cache;";
+  print_endline
+    " list = legacy Token.t-list pipeline, buf = compiled scanner into the \
+     token buffer;";
+  print_endline " min over samples, largest file per language)";
+  Printf.printf "%-10s %9s %8s %10s %10s %9s %9s %8s\n" "Benchmark" "bytes"
+    "tokens" "list(ms)" "buf(ms)" "listMB/s" "bufMB/s" "speedup";
+  List.iter
+    (fun { lang; files } ->
+      let p = P.make (Lang.grammar lang) in
+      let f = List.nth files (List.length files - 1) in
+      (* Warm the shared prediction cache on the whole corpus, so the
+         measured region is the lex+parse hot path, not cache learning. *)
+      let shared =
+        List.fold_left
+          (fun cache fl -> snd (P.run_with_cache p cache fl.toks))
+          (Costar_core.Cache.create (P.analysis p))
+          files
+      in
+      let trials = max 7 cfg.trials in
+      let list_t =
+        time_best ~trials (fun () ->
+            let toks = Lang.tokenize_exn lang f.src in
+            fst (P.run_with_cache p shared toks))
+      in
+      let buf_t =
+        time_best ~trials (fun () ->
+            let buf = Lang.tokenize_buf_exn lang f.src in
+            fst (P.run_with_cache_word p shared (Word.of_buf buf)))
+      in
+      let mb_s t = float_of_int f.bytes /. t /. 1e6 in
+      Printf.printf "%-10s %9d %8d %10.3f %10.3f %9.1f %9.1f %7.2fx\n"
+        lang.Lang.name f.bytes f.n_toks (list_t *. 1e3) (buf_t *. 1e3)
+        (mb_s list_t) (mb_s buf_t) (list_t /. buf_t);
+      (* Lex-only split, plus the buffer scan's steady-state allocation. *)
+      let lex_list_t =
+        time_best ~trials (fun () -> Lang.tokenize_exn lang f.src)
+      in
+      let lex_buf_t =
+        time_best ~trials (fun () -> Lang.tokenize_buf_exn lang f.src)
+      in
+      let reps = 5 in
+      let m0 = Gc.minor_words () in
+      for _ = 1 to reps do
+        ignore (Lang.tokenize_buf_exn lang f.src)
+      done;
+      let minor_per_tok =
+        (Gc.minor_words () -. m0) /. float_of_int (reps * max 1 f.n_toks)
+      in
+      Printf.printf
+        "           lex only: list %.2f Mtok/s, buf %.2f Mtok/s (%.2fx); \
+         buf steady-state %.3f minor words/token\n"
+        (float_of_int f.n_toks /. lex_list_t /. 1e6)
+        (float_of_int f.n_toks /. lex_buf_t /. 1e6)
+        (lex_list_t /. lex_buf_t) minor_per_tok)
+    corpora;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per experiment)            *)
 (* ------------------------------------------------------------------ *)
 
@@ -832,5 +901,6 @@ let () =
   if wants cfg "gss" then gss_ablation cfg corpora;
   if wants cfg "precache" then precache cfg corpora;
   if wants cfg "intern" then intern_bench cfg corpora;
+  if wants cfg "pipeline" then pipeline_bench cfg corpora;
   if cfg.bechamel then bechamel_run corpora;
   print_endline "done."

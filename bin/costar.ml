@@ -109,6 +109,27 @@ let tokens_of_input ?lexer g lang input =
         (Printf.sprintf "not terminals of the grammar: %s"
            (String.concat ", " bad)))
 
+(* The zero-copy pipeline, when the source has a real lexer: a built-in
+   language, or a --lexer spec whose rule names all resolve against the
+   grammar.  [None] means fall back to the list path ([tokens_of_input]):
+   either the input is bare terminal names, or the spec has rules the
+   grammar lacks — which the legacy path reports lazily, only if such a
+   token actually appears. *)
+let buf_of_input ?lexer g lang input =
+  match lang, lexer with
+  | Some l, _ -> Some (Costar_langs.Lang.tokenize_buf l input)
+  | None, Some path -> (
+    match Costar_lex.Spec.scanner_of_string (read_file path) with
+    | Error msg -> Some (Error (Printf.sprintf "%s: %s" path msg))
+    | Ok sc -> (
+      match Costar_lex.Scanner.compile sc g with
+      | Error _ -> None
+      | Ok c -> (
+        match Costar_lex.Scanner.scan_buf c input with
+        | Ok buf -> Some (Ok buf)
+        | Error e -> Some (Error (Fmt.str "%a" Costar_lex.Scanner.pp_error e)))))
+  | None, None -> None
+
 let resolve_source lang grammar start =
   match lang, grammar with
   | Some name, None ->
@@ -169,25 +190,63 @@ let parse_cmd =
       | None, Some path -> read_file path
       | None, None -> In_channel.input_all stdin
     in
-    let toks = or_die (tokens_of_input ?lexer g l text) in
     let p = P.make g in
     if stats then begin
       Costar_core.Instr.reset ();
       Costar_core.Instr.enabled := true
     end;
-    if trace then ignore (Costar_core.Trace.print p toks)
+    if trace then
+      ignore (Costar_core.Trace.print p (or_die (tokens_of_input ?lexer g l text)))
     else begin
+      let lex_t0 = Unix.gettimeofday () in
+      let lex_minor0 = Gc.minor_words () in
+      let word =
+        match buf_of_input ?lexer g l text with
+        | Some r -> Word.of_buf (or_die r)
+        | None -> Word.of_tokens (or_die (tokens_of_input ?lexer g l text))
+      in
+      let lex_t = Unix.gettimeofday () -. lex_t0 in
+      let lex_minor = Gc.minor_words () -. lex_minor0 in
       let result =
         match cache_file with
-        | None -> P.run p toks
+        | None -> P.run_word p word
         | Some file ->
           let cache =
             or_die
               (Cache.load_precompiled ~anl:(P.analysis p)
                  ~fingerprint:(Grammar.fingerprint g) file)
           in
-          fst (P.run_with_cache p cache toks)
+          fst (P.run_with_cache_word p cache word)
       in
+      if stats then begin
+        let n = Word.length word in
+        let toks_s t = if t > 0. then float_of_int n /. t else 0. in
+        Printf.eprintf
+          "lexing: %d tokens from %d bytes in %.4fs (%.2f Mtokens/s, %.1f \
+           MB/s); %.3f minor words/token\n"
+          n (String.length text) lex_t
+          (toks_s lex_t /. 1e6)
+          (float_of_int (String.length text) /. lex_t /. 1e6)
+          (lex_minor /. float_of_int (max 1 n));
+        (* Warm steady-state: rerun the buffer pipeline now that the
+           compiled scanner (and any lazy tables) exist. *)
+        (match buf_of_input ?lexer g l text with
+        | Some (Ok _) ->
+          let t0 = Unix.gettimeofday () in
+          let m0 = Gc.minor_words () in
+          (match buf_of_input ?lexer g l text with
+          | Some (Ok buf) ->
+            let t = Unix.gettimeofday () -. t0 in
+            let m = Gc.minor_words () -. m0 in
+            Printf.eprintf
+              "lexing (warm): %.2f Mtokens/s, %.1f MB/s; %.3f minor \
+               words/token\n"
+              (toks_s t /. 1e6)
+              (float_of_int (String.length text) /. t /. 1e6)
+              (m /. float_of_int (max 1 (Costar_grammar.Token_buf.length buf)))
+          | _ -> ())
+        | _ -> ())
+      end;
       if stats then begin
         let module I = Costar_core.Instr in
         let sll_calls, sll_toks, ll_calls, ll_toks = I.totals () in
@@ -436,7 +495,23 @@ let lex_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"INPUT" ~doc:"Input file (defaults to stdin).")
   in
-  let run lang input =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let stats_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print scan throughput (tokens/s, MB/s) and GC minor words per \
+             token to stderr; the warm line rescans with all lazy tables \
+             built.")
+  in
+  let run lang input format stats =
     let name =
       match lang with
       | Some n -> n
@@ -451,20 +526,71 @@ let lex_cmd =
       | Some path -> read_file path
       | None -> In_channel.input_all stdin
     in
-    match Costar_langs.Lang.tokenize l text with
+    let t0 = Unix.gettimeofday () in
+    let m0 = Gc.minor_words () in
+    match Costar_langs.Lang.tokenize_buf l text with
     | Error msg ->
       prerr_endline ("lexical error: " ^ msg);
       exit 1
-    | Ok toks ->
-      List.iter
-        (fun t ->
-          Printf.printf "%4d:%-3d %-16s %s\n" t.Token.line t.Token.col
-            (Grammar.terminal_name g t.Token.term)
-            (String.escaped t.Token.lexeme))
-        toks
+    | Ok buf ->
+      let lex_t = Unix.gettimeofday () -. t0 in
+      let lex_minor = Gc.minor_words () -. m0 in
+      let n = Token_buf.length buf in
+      (* The dump below is where lexemes and positions are materialized —
+         the scan recorded only kind and offsets. *)
+      (match format with
+      | `Text ->
+        for i = 0 to n - 1 do
+          let line, col = Token_buf.pos buf i in
+          Printf.printf "%4d:%-3d %6d-%-6d %-16s %s\n" line col
+            (Token_buf.start_ofs buf i)
+            (Token_buf.end_ofs buf i)
+            (Grammar.terminal_name g (Token_buf.kind buf i))
+            (String.escaped (Token_buf.lexeme buf i))
+        done
+      | `Json ->
+        print_string "[";
+        for i = 0 to n - 1 do
+          let line, col = Token_buf.pos buf i in
+          Printf.printf "%s\n  {\"kind\": %S, \"start\": %d, \"end\": %d, \
+                         \"line\": %d, \"col\": %d, \"lexeme\": %S}"
+            (if i = 0 then "" else ",")
+            (Grammar.terminal_name g (Token_buf.kind buf i))
+            (Token_buf.start_ofs buf i)
+            (Token_buf.end_ofs buf i)
+            line col
+            (Token_buf.lexeme buf i)
+        done;
+        print_string "\n]\n");
+      if stats then begin
+        let report label t minor n =
+          Printf.eprintf
+            "%s: %d tokens from %d bytes in %.4fs (%.2f Mtokens/s, %.1f \
+             MB/s); %.3f minor words/token\n"
+            label n (String.length text) t
+            (float_of_int n /. t /. 1e6)
+            (float_of_int (String.length text) /. t /. 1e6)
+            (minor /. float_of_int (max 1 n))
+        in
+        report "scan (cold)" lex_t lex_minor n;
+        let t0 = Unix.gettimeofday () in
+        let m0 = Gc.minor_words () in
+        match Costar_langs.Lang.tokenize_buf l text with
+        | Ok buf2 ->
+          report "scan (warm)"
+            (Unix.gettimeofday () -. t0)
+            (Gc.minor_words () -. m0)
+            (Token_buf.length buf2)
+        | Error _ -> ()
+      end
   in
-  let term = Term.(const run $ lang_arg $ input_arg) in
-  Cmd.v (Cmd.info "lex" ~doc:"Tokenize input with a built-in lexer.") term
+  let term = Term.(const run $ lang_arg $ input_arg $ format_arg $ stats_arg) in
+  Cmd.v
+    (Cmd.info "lex"
+       ~doc:
+         "Tokenize input with a built-in lexer (zero-copy buffer pipeline) \
+          and dump the token buffer.")
+    term
 
 (* --- gen ---------------------------------------------------------------- *)
 

@@ -88,26 +88,35 @@ let init_configs g anl x conts =
 
 let is_accepting cfg = Frames.spine_is_nil cfg.l_frames
 
-let predict g anl x conts tokens =
-  let rec loop depth configs tokens =
+(* Lookahead is an array cursor (terminal ids in [kinds], valid up to
+   [len], starting at [i]); LL prediction is rare (SLL failover only), but
+   it shares the machine's input representation so the fallback needs no
+   list reconstruction. *)
+let predict_cursor g anl x conts kinds len i0 =
+  let rec loop depth configs i =
     match preds_of_ll configs with
     | [] -> (Types.Reject_pred, depth)
     | [ p ] -> (Types.Unique_pred p, depth)
-    | _ -> (
-      match tokens with
-      | [] -> (
+    | _ ->
+      if i >= len then
         match preds_of_ll (List.filter is_accepting configs) with
         | [] -> (Types.Reject_pred, depth)
         | [ p ] -> (Types.Unique_pred p, depth)
-        | p :: _ -> (Types.Ambig_pred p, depth))
-      | tok :: rest -> (
-        match closure g anl (move anl configs tok.Token.term) with
+        | p :: _ -> (Types.Ambig_pred p, depth)
+      else (
+        match closure g anl (move anl configs (Array.unsafe_get kinds i)) with
         | Error e -> (Types.Error_pred e, depth)
-        | Ok configs' -> loop (depth + 1) configs' rest))
+        | Ok configs' -> loop (depth + 1) configs' (i + 1))
   in
   match closure g anl (init_configs g anl x conts) with
   | Error e -> Types.Error_pred e
   | Ok configs ->
-    let result, depth = loop 0 configs tokens in
+    let result, depth = loop 0 configs i0 in
     Instr.record_ll x depth;
     result
+
+let predict_word g anl x conts (w : Word.t) i =
+  predict_cursor g anl x conts w.Word.kinds w.Word.len i
+
+let predict g anl x conts tokens =
+  predict_word g anl x conts (Word.of_tokens tokens) 0

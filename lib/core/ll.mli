@@ -24,11 +24,23 @@ val move : Analysis.t -> Config.ll list -> terminal -> Config.ll list
 val init_configs :
   Grammar.t -> Analysis.t -> nonterminal -> symbol list list -> Config.ll list
 
-(** [predict g anl x conts tokens] runs exact LL prediction. *)
+(** [predict g anl x conts tokens] runs exact LL prediction.  A thin
+    wrapper over {!predict_word}. *)
 val predict :
   Grammar.t ->
   Analysis.t ->
   nonterminal ->
   symbol list list ->
   Token.t list ->
+  Types.prediction
+
+(** [predict_word g anl x conts w i] is LL prediction over the array
+    cursor the machine runs on: lookahead reads [w.kinds] from [i]. *)
+val predict_word :
+  Grammar.t ->
+  Analysis.t ->
+  nonterminal ->
+  symbol list list ->
+  Word.t ->
+  int ->
   Types.prediction

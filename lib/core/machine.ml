@@ -12,7 +12,8 @@ type state = {
   top : frame;
   frames : frame list;
   cache : Cache.t;
-  tokens : Token.t list;
+  word : Word.t;
+  pos : int;
   visited : Int_set.t;
   unique : bool;
 }
@@ -30,7 +31,7 @@ type env = {
 
 let make_env g = { g; anl = Analysis.make g }
 
-let init env ?cache tokens =
+let init_word env ?cache word =
   let cache =
     match cache with Some c -> c | None -> Cache.create env.anl
   in
@@ -44,18 +45,26 @@ let init env ?cache tokens =
       };
     frames = [];
     cache;
-    tokens;
+    word;
+    pos = 0;
     visited = Int_set.empty;
     unique = true;
   }
+
+let init env ?cache tokens = init_word env ?cache (Word.of_tokens tokens)
 
 let conts st = st.top.suf :: List.map (fun f -> f.suf) st.frames
 
 let height st = 1 + List.length st.frames
 
-let pos_msg = function
-  | [] -> "at end of input"
-  | tok :: _ ->
+let remaining st = st.word.Word.len - st.pos
+
+let remaining_tokens st = Word.drop st.word st.pos
+
+let pos_msg st =
+  if st.pos >= st.word.Word.len then "at end of input"
+  else
+    let tok = Word.token st.word st.pos in
     if tok.Token.line > 0 then
       Printf.sprintf "at line %d, column %d" tok.Token.line tok.Token.col
     else "at token " ^ tok.Token.lexeme
@@ -65,28 +74,33 @@ let pos_msg = function
 let safe_terminal_name = Grammar.safe_terminal_name
 
 let consume env st a suf =
-  match st.tokens with
-  | tok :: rest when tok.Token.term = a ->
-    Step_cont
-      {
-        st with
-        top =
-          {
-            st.top with
-            syms_rev = T a :: st.top.syms_rev;
-            trees_rev = Tree.Leaf tok :: st.top.trees_rev;
-            suf;
-          };
-        tokens = rest;
-        visited = Int_set.empty;
-      }
-  | tok :: _ ->
-    Step_reject
-      (Printf.sprintf "expected '%s' but found '%s' (%S) %s"
-         (Grammar.terminal_name env.g a)
-         (safe_terminal_name env.g tok.Token.term)
-         tok.Token.lexeme (pos_msg st.tokens))
-  | [] ->
+  if st.pos < st.word.Word.len then
+    if Array.unsafe_get st.word.Word.kinds st.pos = a then
+      (* The leaf token is materialized here, at consume time: in the
+         buffer pipeline this is where the lexeme is first sliced and the
+         position first recovered (the laziness contract's other end). *)
+      let tok = Word.token st.word st.pos in
+      Step_cont
+        {
+          st with
+          top =
+            {
+              st.top with
+              syms_rev = T a :: st.top.syms_rev;
+              trees_rev = Tree.Leaf tok :: st.top.trees_rev;
+              suf;
+            };
+          pos = st.pos + 1;
+          visited = Int_set.empty;
+        }
+    else
+      let tok = Word.token st.word st.pos in
+      Step_reject
+        (Printf.sprintf "expected '%s' but found '%s' (%S) %s"
+           (Grammar.terminal_name env.g a)
+           (safe_terminal_name env.g tok.Token.term)
+           tok.Token.lexeme (pos_msg st))
+  else
     Step_reject
       (Printf.sprintf "expected '%s' but reached end of input"
          (Grammar.terminal_name env.g a))
@@ -99,8 +113,8 @@ let push env st x suf =
        cache (precompiled, or built by the static analyzer) expresses its
        configurations in its own frame interner. *)
     let cache, pred =
-      Predict.adaptive_predict env.g (Cache.analysis st.cache) st.cache x
-        conts st.tokens
+      Predict.adaptive_predict_word env.g (Cache.analysis st.cache) st.cache x
+        conts st.word st.pos
     in
     let do_push ix unique =
       let gamma = (Grammar.prod env.g ix).rhs in
@@ -109,7 +123,8 @@ let push env st x suf =
           top = { label = Some x; syms_rev = []; trees_rev = []; suf = gamma };
           frames = { st.top with suf } :: st.frames;
           cache;
-          tokens = st.tokens;
+          word = st.word;
+          pos = st.pos;
           visited = Int_set.add x st.visited;
           unique = st.unique && unique;
         }
@@ -121,7 +136,7 @@ let push env st x suf =
       Step_reject
         (Printf.sprintf "no viable alternative for %s %s"
            (Grammar.safe_nonterminal_name env.g x)
-           (pos_msg st.tokens))
+           (pos_msg st))
     | Types.Error_pred e -> Step_error e
 
 let return_op st =
@@ -146,10 +161,9 @@ let return_op st =
   | [] -> Step_error (Types.Invalid_state "return with no caller frame")
 
 let finish env st =
-  if st.tokens <> [] then
+  if st.pos < st.word.Word.len then
     Step_reject
-      (Printf.sprintf "parse finished with input remaining %s"
-         (pos_msg st.tokens))
+      (Printf.sprintf "parse finished with input remaining %s" (pos_msg st))
   else
     match st.top with
     | { label = None; syms_rev = [ NT x ]; trees_rev = [ v ]; suf = [] }

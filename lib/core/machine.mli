@@ -24,7 +24,8 @@ type state = {
   top : frame;
   frames : frame list;  (** callers, innermost first *)
   cache : Cache.t;
-  tokens : Token.t list;  (** remaining input *)
+  word : Word.t;  (** the whole input, as the array cursor *)
+  pos : int;  (** current input position; remaining = [word.len - pos] *)
   visited : Int_set.t;
       (** nonterminals opened since the last consume (left-recursion guard) *)
   unique : bool;  (** false once any prediction reported ambiguity *)
@@ -44,11 +45,23 @@ type env = {
 
 val make_env : Grammar.t -> env
 
-(** Initial machine state for the grammar's start symbol. *)
+(** Initial machine state for the grammar's start symbol (list wrapper
+    over {!init_word}). *)
 val init : env -> ?cache:Cache.t -> Token.t list -> state
+
+(** Initial machine state over an array cursor: the machine consumes
+    [word.kinds.(pos)] directly, and prediction's warm fast path never
+    touches a token record. *)
+val init_word : env -> ?cache:Cache.t -> Word.t -> state
 
 (** One atomic machine operation: consume, push, return, or finish. *)
 val step : env -> state -> step_result
+
+(** Number of unconsumed tokens. *)
+val remaining : state -> int
+
+(** Unconsumed tokens, materialized (traces, tests). *)
+val remaining_tokens : state -> Token.t list
 
 (** Unprocessed suffix-stack symbols below the top frame, topmost first
     (the continuation passed to LL prediction). *)

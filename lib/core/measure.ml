@@ -54,7 +54,7 @@ let meas g (st : Machine.state) =
     :: List.map (fun f -> f.Machine.suf) st.Machine.frames
   in
   {
-    tokens = List.length st.Machine.tokens;
+    tokens = Machine.remaining st;
     score = stack_score g ~visited:st.Machine.visited sufs;
     height = List.length sufs;
   }

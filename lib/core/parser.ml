@@ -58,8 +58,15 @@ let multistep env ~inspect st0 =
   in
   go st0
 
+let run_with_cache_word p cache word =
+  multistep p.menv ~inspect:ignore (Machine.init_word p.menv ~cache word)
+
 let run_with_cache p cache tokens =
-  multistep p.menv ~inspect:ignore (Machine.init p.menv ~cache tokens)
+  run_with_cache_word p cache (Word.of_tokens tokens)
+
+let run_word p word = fst (run_with_cache_word p (base_cache p) word)
+
+let run_buf p buf = run_word p (Word.of_buf buf)
 
 let run p tokens = fst (run_with_cache p (base_cache p) tokens)
 

@@ -35,6 +35,15 @@ val env : t -> Machine.env
     static cache at all.) *)
 val run : t -> Token.t list -> result
 
+(** [run_word p w] is {!run} over the array cursor — the zero-copy
+    pipeline's entry point.  [run p toks = run_word p (Word.of_tokens
+    toks)]. *)
+val run_word : t -> Word.t -> result
+
+(** [run_buf p buf] parses a struct-of-arrays token buffer (as produced
+    by the compiled scanner) without materializing a token list. *)
+val run_buf : t -> Token_buf.t -> result
+
 (** The parser's shared base cache: the static grammar cache (initial DFA
     states, and their first transitions, for every reachable decision),
     built on first use and then extended by every {!run}.  Exposed for
@@ -51,6 +60,9 @@ val run_cold : t -> Token.t list -> result
     allowing cache reuse across inputs (an extension over the paper's API;
     see DESIGN.md, experiment E4). *)
 val run_with_cache : t -> Cache.t -> Token.t list -> result * Cache.t
+
+(** Cursor form of {!run_with_cache}. *)
+val run_with_cache_word : t -> Cache.t -> Word.t -> result * Cache.t
 
 (** [run_inspect p ~inspect w] calls [inspect] on every intermediate machine
     state, including the initial one (used for traces and invariant

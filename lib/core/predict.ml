@@ -1,6 +1,6 @@
 open Costar_grammar
 
-let adaptive_predict g anl cache x conts tokens =
+let adaptive_predict_word g anl cache x conts w i =
   match Grammar.prods_of g x with
   | [] ->
     (* A nonterminal with no productions derives nothing. *)
@@ -11,11 +11,14 @@ let adaptive_predict g anl cache x conts tokens =
        (preallocated per production) — this path runs on every push. *)
     (cache, Cache.unique_pred cache ix)
   | _ -> (
-    match Sll.predict g anl cache x tokens with
+    match Sll.predict_word g anl cache x w i with
     | (_, (Types.Unique_pred _ | Types.Reject_pred | Types.Error_pred _)) as r
       ->
       r
     | cache, Types.Ambig_pred _ ->
       (* The SLL overapproximation saw several survivors; re-predict in
          exact LL mode before committing (paper, §3.4: failover). *)
-      (cache, Ll.predict g anl x (conts ()) tokens))
+      (cache, Ll.predict_word g anl x (conts ()) w i))
+
+let adaptive_predict g anl cache x conts tokens =
+  adaptive_predict_word g anl cache x conts (Word.of_tokens tokens) 0

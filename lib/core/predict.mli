@@ -30,3 +30,15 @@ val adaptive_predict :
   (unit -> symbol list list) ->
   Token.t list ->
   Cache.t * Types.prediction
+
+(** Cursor form: lookahead reads [w.kinds] from position [i].  This is
+    the machine's own entry point; {!adaptive_predict} wraps it. *)
+val adaptive_predict_word :
+  Grammar.t ->
+  Analysis.t ->
+  Cache.t ->
+  nonterminal ->
+  (unit -> symbol list list) ->
+  Word.t ->
+  int ->
+  Cache.t * Types.prediction

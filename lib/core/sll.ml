@@ -133,25 +133,27 @@ let init_configs g anl x =
       })
     (Grammar.prods_of g x)
 
-let rec loop g anl depth cache sid tokens =
+(* The lookahead stream is an array cursor: [kinds] holds one terminal id
+   per remaining token (valid up to [len]), [i] is the current position.
+   The warm path never touches a token record — only [kinds.(i)]. *)
+let rec loop g anl depth cache sid kinds len i =
   let info = Cache.info cache sid in
   match info.Cache.verdict with
   | Cache.V_empty -> (cache, Types.Reject_pred, depth)
   | Cache.V_all_pred p -> (cache, Types.Unique_pred p, depth)
-  | Cache.V_pending -> (
-    match tokens with
-    | [] -> (
+  | Cache.V_pending ->
+    if i >= len then
       match info.Cache.accepting with
       | [] -> (cache, Types.Reject_pred, depth)
       | [ p ] -> (cache, Types.Unique_pred p, depth)
-      | p :: _ -> (cache, Types.Ambig_pred p, depth))
-    | tok :: rest ->
-      let a = tok.Token.term in
+      | p :: _ -> (cache, Types.Ambig_pred p, depth)
+    else begin
+      let a = Array.unsafe_get kinds i in
       (* Warm path: a pair of array reads. *)
       let sid' = Cache.trans_get cache sid a in
       if sid' >= 0 then begin
         Instr.record_trans_hit ();
-        loop g anl (depth + 1) cache sid' rest
+        loop g anl (depth + 1) cache sid' kinds len (i + 1)
       end
       else begin
         Instr.record_trans_miss ();
@@ -160,8 +162,9 @@ let rec loop g anl depth cache sid tokens =
         | cache, Ok configs' ->
           let cache, sid' = Cache.intern cache configs' in
           let cache = Cache.add_trans cache sid a sid' in
-          loop g anl (depth + 1) cache sid' rest
-      end)
+          loop g anl (depth + 1) cache sid' kinds len (i + 1)
+      end
+    end
 
 let init g anl sid_cache x =
   (* Spine ids only mean something in the interner they were created in, so
@@ -204,11 +207,11 @@ let prepare ?(deep = false) g anl cache x =
         !cache
     end
 
-let predict_general g anl cache x tokens =
+let predict_general g anl cache x kinds len i =
   match init g anl cache x with
   | Error e -> (cache, Types.Error_pred e)
   | Ok (cache, sid) ->
-    let cache, result, depth = loop g anl 0 cache sid tokens in
+    let cache, result, depth = loop g anl 0 cache sid kinds len i in
     Instr.record_sll x depth;
     (cache, result)
 
@@ -219,29 +222,36 @@ exception Fast_miss
    never touches configurations or frames — only per-state verdicts and
    int transition rows — so it does not need the interner-identity guard of
    [init] (those facts are grammar-level and interner-independent). *)
-let rec fast_verdict cache sid tokens =
+let rec fast_verdict cache sid kinds len i =
   let info = Cache.info cache sid in
   match info.Cache.verdict with
   | Cache.V_empty -> Types.Reject_pred
   | Cache.V_all_pred _ -> info.Cache.decided_pred
-  | Cache.V_pending -> (
-    match tokens with
-    | [] -> info.Cache.eof_pred
-    | tok :: rest ->
-      let sid' = Cache.trans_get cache sid tok.Token.term in
-      if sid' >= 0 then fast_verdict cache sid' rest
-      else raise_notrace Fast_miss)
+  | Cache.V_pending ->
+    if i >= len then info.Cache.eof_pred
+    else
+      let sid' = Cache.trans_get cache sid (Array.unsafe_get kinds i) in
+      if sid' >= 0 then fast_verdict cache sid' kinds len (i + 1)
+      else raise_notrace Fast_miss
 
-let predict g anl cache x tokens =
+let predict_cursor g anl cache x kinds len i =
   (* Warm fast path: once the relevant DFA fragment exists, a prediction is
      a chain of array reads ending in a preboxed verdict.  Any miss (or
      instrumentation, which wants depth counts) falls back to the general
      loop, which re-walks the short prefix and extends the DFA. *)
-  if !Instr.enabled then predict_general g anl cache x tokens
+  if !Instr.enabled then predict_general g anl cache x kinds len i
   else
     let sid0 = Cache.init_get cache x in
-    if sid0 < 0 then predict_general g anl cache x tokens
+    if sid0 < 0 then predict_general g anl cache x kinds len i
     else
-      match fast_verdict cache sid0 tokens with
+      match fast_verdict cache sid0 kinds len i with
       | p -> (cache, p)
-      | exception Fast_miss -> predict_general g anl cache x tokens
+      | exception Fast_miss -> predict_general g anl cache x kinds len i
+
+let predict_word g anl cache x (w : Word.t) i =
+  predict_cursor g anl cache x w.Word.kinds w.Word.len i
+
+(* The legacy list API, as a thin wrapper over the cursor core. *)
+let predict g anl cache x tokens =
+  let w = Word.of_tokens tokens in
+  predict_word g anl cache x w 0

@@ -80,11 +80,24 @@ val prepare :
 
 (** [predict g a cache x tokens] runs SLL prediction for decision
     nonterminal [x] against the remaining tokens, reading and extending the
-    DFA cache. *)
+    DFA cache.  A thin wrapper over {!predict_word} — the cursor API the
+    machine itself uses. *)
 val predict :
   Grammar.t ->
   Analysis.t ->
   Cache.t ->
   nonterminal ->
   Token.t list ->
+  Cache.t * Types.prediction
+
+(** [predict_word g a cache x w i] is prediction over the array cursor:
+    lookahead reads [w.kinds.(i)], [w.kinds.(i+1)], ... directly — the
+    warm path allocates nothing and touches no token records. *)
+val predict_word :
+  Grammar.t ->
+  Analysis.t ->
+  Cache.t ->
+  nonterminal ->
+  Word.t ->
+  int ->
   Cache.t * Types.prediction

@@ -23,7 +23,7 @@ let pp_state env ppf (st : Machine.state) =
       (List.rev trees));
   (* Remaining input and visited set. *)
   Fmt.pf ppf "  input: %s"
-    (match st.Machine.tokens with
+    (match Machine.remaining_tokens st with
     | [] -> "<eof>"
     | toks ->
       String.concat " "

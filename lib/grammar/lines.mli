@@ -1,0 +1,22 @@
+(** Newline-offset table: lazy position recovery for zero-copy lexing.
+
+    The scanner records only byte offsets; line/column positions are
+    recovered on demand by binary search in this table, so position
+    bookkeeping costs nothing on the scanning hot path and is paid only
+    for the tokens that actually need a position (errors, tree leaves). *)
+
+type t
+
+(** One O(n) pass over the input. *)
+val build : string -> t
+
+val num_lines : t -> int
+
+(** [pos t ofs] is the (1-based line, 0-based column) of byte offset
+    [ofs].  Offsets past the end of input report a position on the last
+    line (or the line after it, if the input ends with a newline) —
+    exactly where an end-of-input message should point. *)
+val pos : t -> int -> int * int
+
+(** Byte offset of the first character of the line containing [ofs]. *)
+val line_start : t -> int -> int

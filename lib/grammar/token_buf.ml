@@ -1,0 +1,82 @@
+(* Struct-of-arrays token buffer: the zero-copy counterpart of
+   [Token.t list].  A scan writes three parallel int arrays — terminal
+   ids and start/end byte offsets into the (shared, unsliced) input —
+   and nothing else: no per-token records, no lexeme substrings, no
+   line/column bookkeeping.  Lexemes and positions are materialized
+   lazily, per token, only where they are actually consumed (parse-tree
+   leaves, error messages, dumps). *)
+
+type t = {
+  input : string;  (** the scanned input; lexemes are slices of it *)
+  mutable len : int;
+  mutable kinds : int array;  (** terminal id per token *)
+  mutable starts : int array;  (** byte offset of the first lexeme byte *)
+  mutable ends : int array;  (** byte offset one past the last lexeme byte *)
+  mutable lines : Lines.t option;  (** built on first position query *)
+}
+
+let create ?(capacity = 64) input =
+  let capacity = max 8 capacity in
+  {
+    input;
+    len = 0;
+    kinds = Array.make capacity 0;
+    starts = Array.make capacity 0;
+    ends = Array.make capacity 0;
+    lines = None;
+  }
+
+(* Pre-sizing from the input length keeps steady-state scanning free of
+   even the amortized growth copies: one token per ~8 bytes is an
+   overestimate for every bundled language. *)
+let create_for_input input =
+  create ~capacity:((String.length input / 8) + 16) input
+
+let length b = b.len
+let input b = b.input
+
+(* Forget the tokens but keep the arrays (and the newline table — it
+   depends only on the input): re-scanning the same input allocates
+   nothing. *)
+let clear b = b.len <- 0
+
+let grow b =
+  let cap = Array.length b.kinds in
+  let extend a = Array.append a (Array.make cap 0) in
+  b.kinds <- extend b.kinds;
+  b.starts <- extend b.starts;
+  b.ends <- extend b.ends
+
+let add b ~kind ~start ~stop =
+  if b.len = Array.length b.kinds then grow b;
+  let i = b.len in
+  Array.unsafe_set b.kinds i kind;
+  Array.unsafe_set b.starts i start;
+  Array.unsafe_set b.ends i stop;
+  b.len <- i + 1
+
+let kind b i = b.kinds.(i)
+let start_ofs b i = b.starts.(i)
+let end_ofs b i = b.ends.(i)
+
+(* The backing array, possibly longer than [length]; pair it with
+   [length] (as {!Word.of_buf} does) rather than iterating it blindly. *)
+let kinds_unsafe b = b.kinds
+
+let lexeme b i = String.sub b.input b.starts.(i) (b.ends.(i) - b.starts.(i))
+
+let lines b =
+  match b.lines with
+  | Some l -> l
+  | None ->
+    let l = Lines.build b.input in
+    b.lines <- Some l;
+    l
+
+let pos b i = Lines.pos (lines b) b.starts.(i)
+
+let token b i =
+  let line, col = pos b i in
+  Token.make ~line ~col b.kinds.(i) (lexeme b i)
+
+let to_tokens b = List.init b.len (token b)

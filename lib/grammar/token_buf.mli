@@ -1,0 +1,52 @@
+(** Struct-of-arrays token buffer — the zero-copy token stream.
+
+    Three parallel int arrays (terminal ids, start offsets, end offsets
+    into the shared input string) replace [Token.t list] on the lex→parse
+    hot path.  The laziness contract: scanning records offsets only;
+    lexemes are sliced and positions recovered (via the {!Lines} table,
+    built on first query) per token, on demand — so tokens that are only
+    ever stepped over by prediction cost three ints and nothing more. *)
+
+type t
+
+(** [create ?capacity input] is an empty buffer over [input]. *)
+val create : ?capacity:int -> string -> t
+
+(** Like {!create}, sized from [String.length input] so that scanning a
+    typical corpus never grows the arrays. *)
+val create_for_input : string -> t
+
+val length : t -> int
+val input : t -> string
+
+(** Drop all tokens, keeping the arrays (and newline table): re-scanning
+    the same input into a cleared buffer allocates nothing. *)
+val clear : t -> unit
+
+(** Append one token.  [start]/[stop] delimit the lexeme in the input;
+    a synthesized token (e.g. the indenter's INDENT) uses [start = stop],
+    making its lexeme empty and its position that of [start]. *)
+val add : t -> kind:int -> start:int -> stop:int -> unit
+
+val kind : t -> int -> Symbols.terminal
+val start_ofs : t -> int -> int
+val end_ofs : t -> int -> int
+
+(** The kinds backing array.  May be longer than [length]; only indices
+    below [length] are meaningful. *)
+val kinds_unsafe : t -> int array
+
+(** Lazy lexeme: a fresh slice of the input. *)
+val lexeme : t -> int -> string
+
+(** The buffer's newline table (built on first use). *)
+val lines : t -> Lines.t
+
+(** Lazy position of token [i]: 1-based line, 0-based column. *)
+val pos : t -> int -> int * int
+
+(** Materialize token [i] as a boxed {!Token.t} (lexeme + position). *)
+val token : t -> int -> Token.t
+
+(** Materialize the whole buffer (differential tests, dumps). *)
+val to_tokens : t -> Token.t list

@@ -1,0 +1,40 @@
+(* The parser core's view of its input: a dense array of terminal ids
+   plus a lazy token materializer.  Prediction and the machine's consume
+   step read [kinds.(i)] directly; a boxed [Token.t] is built only for
+   parse-tree leaves and error messages.
+
+   Both frontends lower to this one representation: [of_tokens] wraps
+   the legacy list pipeline (tokens already exist, so [leaf] just
+   indexes them), [of_buf] wraps the zero-copy buffer pipeline ([leaf]
+   slices the lexeme and binary-searches the newline table on demand). *)
+
+type t = {
+  kinds : int array;  (** terminal id per token; indices [0 .. len-1] *)
+  len : int;
+  leaf : int -> Token.t;  (** materialize token [i] *)
+}
+
+let of_tokens toks =
+  let arr = Array.of_list toks in
+  {
+    kinds = Array.map Token.term arr;
+    len = Array.length arr;
+    leaf = Array.get arr;
+  }
+
+let of_buf buf =
+  {
+    kinds = Token_buf.kinds_unsafe buf;
+    len = Token_buf.length buf;
+    leaf = Token_buf.token buf;
+  }
+
+let length w = w.len
+let kind w i = w.kinds.(i)
+let token w i = w.leaf i
+
+let to_tokens w = List.init w.len w.leaf
+
+(* Remaining input from position [i], as a list (trace dumps, the LL
+   fallback's list-free cousin keeps indices; this is for display). *)
+let drop w i = List.init (max 0 (w.len - i)) (fun k -> w.leaf (i + k))

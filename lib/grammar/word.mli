@@ -1,0 +1,27 @@
+(** The array cursor the parser core runs on.
+
+    A word is a dense [int array] of terminal ids plus a lazy
+    per-position token materializer; the core consumes [(word, index)]
+    pairs so the prediction fast path is pure array reads.  Produced
+    from either frontend: {!of_tokens} (legacy list pipeline) or
+    {!of_buf} (zero-copy buffer pipeline). *)
+
+type t = {
+  kinds : int array;  (** terminal id per token; only [0 .. len-1] valid *)
+  len : int;
+  leaf : int -> Token.t;  (** lazy materializer for leaves and errors *)
+}
+
+val of_tokens : Token.t list -> t
+val of_buf : Token_buf.t -> t
+
+val length : t -> int
+val kind : t -> int -> Symbols.terminal
+
+(** Materialized token at [i] (boxed; allocates). *)
+val token : t -> int -> Token.t
+
+val to_tokens : t -> Token.t list
+
+(** Tokens from position [i] to the end, materialized. *)
+val drop : t -> int -> Token.t list

@@ -1,4 +1,7 @@
 open Costar_lex
+module G = Costar_grammar.Grammar
+module Token_buf = Costar_grammar.Token_buf
+module Lines = Costar_grammar.Lines
 
 let openers = [ "("; "["; "{" ]
 let closers = [ ")"; "]"; "}" ]
@@ -67,3 +70,108 @@ let run raws =
       (fun level -> if level > 0 then emit (synth "DEDENT" last_line 0))
       !indents;
     Ok (List.rev !out)
+
+(* --- Buffer pass --------------------------------------------------------
+
+   The same algorithm over the struct-of-arrays token buffer: kinds are
+   terminal ids (resolved against the grammar once, here), synthesized
+   tokens are zero-width entries ([start = stop]) anchored at the start
+   of the line they open or close, and columns at line starts come from
+   the shared newline table — one binary search per logical line, not
+   per token. *)
+
+type ids = {
+  newline : int;
+  indent : int;
+  dedent : int;
+  opener_ids : int list;
+  closer_ids : int list;
+}
+
+let ids_of_grammar g =
+  let id name =
+    match G.terminal_of_name g name with
+    | Some t -> t
+    | None -> invalid_arg ("Indenter: grammar lacks terminal " ^ name)
+  in
+  {
+    newline = id "NEWLINE";
+    indent = id "INDENT";
+    dedent = id "DEDENT";
+    opener_ids = List.filter_map (G.terminal_of_name g) openers;
+    closer_ids = List.filter_map (G.terminal_of_name g) closers;
+  }
+
+let run_buf ids buf =
+  let input = Token_buf.input buf in
+  let lines = Token_buf.lines buf in
+  let n = Token_buf.length buf in
+  let out = Token_buf.create ~capacity:(n + 16) input in
+  let emit_at kind ofs = Token_buf.add out ~kind ~start:ofs ~stop:ofs in
+  let indents = ref [ 0 ] in
+  let depth = ref 0 in
+  let line_has_content = ref false in
+  let at_line_start = ref true in
+  let error = ref None in
+  let handle_line_start i =
+    let start = Token_buf.start_ofs buf i in
+    let bol = Lines.line_start lines start in
+    let col = start - bol in
+    (match !indents with
+    | top :: _ when col > top ->
+      indents := col :: !indents;
+      emit_at ids.indent bol
+    | _ ->
+      let rec dedent () =
+        match !indents with
+        | top :: rest when col < top ->
+          indents := rest;
+          emit_at ids.dedent bol;
+          dedent ()
+        | top :: _ ->
+          if col <> top then
+            error :=
+              Some
+                (Printf.sprintf
+                   "line %d: unindent does not match any outer level"
+                   (fst (Token_buf.pos buf i)))
+        | [] -> assert false
+      in
+      dedent ());
+    at_line_start := false
+  in
+  let i = ref 0 in
+  while !error = None && !i < n do
+    let kind = Token_buf.kind buf !i in
+    if kind = ids.newline then begin
+      if !depth = 0 && !line_has_content then begin
+        (* Zero-width, like the list pass's lexeme-erased NEWLINE. *)
+        emit_at ids.newline (Token_buf.start_ofs buf !i);
+        line_has_content := false;
+        at_line_start := true
+      end
+      (* Blank line or implicit join: drop the newline. *)
+    end
+    else begin
+      if !at_line_start && !depth = 0 then handle_line_start !i;
+      if List.mem kind ids.opener_ids then incr depth
+      else if List.mem kind ids.closer_ids then depth := max 0 (!depth - 1);
+      line_has_content := true;
+      Token_buf.add out ~kind ~start:(Token_buf.start_ofs buf !i)
+        ~stop:(Token_buf.end_ofs buf !i)
+    end;
+    incr i
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    (* End of input: close the open logical line and the indent stack.
+       Anchoring at [String.length input] lands on the line after the
+       final newline (matching the list pass's [last line + 1]) whenever
+       the input ends with one. *)
+    let eof = String.length input in
+    if !line_has_content then emit_at ids.newline eof;
+    List.iter
+      (fun level -> if level > 0 then emit_at ids.dedent eof)
+      !indents;
+    Ok out

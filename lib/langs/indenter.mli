@@ -19,3 +19,21 @@
     Fails with a message on inconsistent dedents. *)
 val run :
   Costar_lex.Scanner.raw list -> (Costar_lex.Scanner.raw list, string) result
+
+(** Terminal ids the buffer pass needs, resolved against the grammar once
+    per language (NEWLINE/INDENT/DEDENT plus whichever bracket terminals
+    the grammar actually has).  Raises [Invalid_argument] if the grammar
+    lacks one of the three structural terminals. *)
+type ids
+
+val ids_of_grammar : Costar_grammar.Grammar.t -> ids
+
+(** [run_buf ids buf] is {!run} over the struct-of-arrays token buffer:
+    same algorithm, but columns come from the buffer's shared newline
+    table and synthesized tokens are zero-width entries ([start = stop])
+    anchored at the start of the line they open or close (end-of-input
+    synths at [String.length input]). *)
+val run_buf :
+  ids ->
+  Costar_grammar.Token_buf.t ->
+  (Costar_grammar.Token_buf.t, string) result

@@ -57,6 +57,17 @@ let tokenize input =
   | Ok toks -> Ok toks
   | Error e -> Error (Fmt.str "%a" Scanner.pp_error e)
 
+let compiled =
+  lazy
+    (match Scanner.compile (Lazy.force scanner) (Lazy.force grammar) with
+    | Ok c -> c
+    | Error msg -> failwith ("Json.compiled: " ^ msg))
+
+let tokenize_buf input =
+  match Scanner.scan_buf (Lazy.force compiled) input with
+  | Ok buf -> Ok buf
+  | Error e -> Error (Fmt.str "%a" Scanner.pp_error e)
+
 (* --- Generator --------------------------------------------------------- *)
 
 let gen_string st =
@@ -111,4 +122,5 @@ let generate ~seed ~size =
   Gen_util.add st "]\n";
   Gen_util.contents st
 
-let lang : Lang.t = { Lang.name = "json"; grammar; tokenize; generate }
+let lang : Lang.t =
+  { Lang.name = "json"; grammar; tokenize; tokenize_buf; generate }

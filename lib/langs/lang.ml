@@ -11,6 +11,11 @@ type t = {
   name : string;
   grammar : Grammar.t Lazy.t;
   tokenize : string -> (Token.t list, string) result;
+  tokenize_buf : string -> (Token_buf.t, string) result;
+      (** The zero-copy pipeline: compiled scanner straight into a
+          struct-of-arrays token buffer (plus any post-passes).  Must agree
+          with [tokenize] token-for-token — pinned by the differential
+          tests. *)
   generate : seed:int -> size:int -> string;
       (** [generate ~seed ~size] produces a source file; [size] roughly
           scales the number of syntactic items. *)
@@ -18,6 +23,7 @@ type t = {
 
 let grammar l = Lazy.force l.grammar
 let tokenize l = l.tokenize
+let tokenize_buf l = l.tokenize_buf
 let generate l = l.generate
 
 (** Tokenize, failing loudly — for tests and examples where the input is
@@ -25,4 +31,10 @@ let generate l = l.generate
 let tokenize_exn l input =
   match l.tokenize input with
   | Ok toks -> toks
+  | Error msg -> invalid_arg (Printf.sprintf "%s lexer: %s" l.name msg)
+
+(** Buffer pipeline, failing loudly. *)
+let tokenize_buf_exn l input =
+  match l.tokenize_buf input with
+  | Ok buf -> buf
   | Error msg -> invalid_arg (Printf.sprintf "%s lexer: %s" l.name msg)

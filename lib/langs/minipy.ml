@@ -183,6 +183,19 @@ let tokenize input =
       in
       resolve [] logical))
 
+let compiled =
+  lazy
+    (match Scanner.compile (Lazy.force scanner) (Lazy.force grammar) with
+    | Ok c -> c
+    | Error msg -> failwith ("Minipy.compiled: " ^ msg))
+
+let indenter_ids = lazy (Indenter.ids_of_grammar (Lazy.force grammar))
+
+let tokenize_buf input =
+  match Scanner.scan_buf (Lazy.force compiled) input with
+  | Error e -> Error (Fmt.str "%a" Scanner.pp_error e)
+  | Ok buf -> Indenter.run_buf (Lazy.force indenter_ids) buf
+
 (* --- Generator --------------------------------------------------------- *)
 
 let names = [| "x"; "y"; "z"; "count"; "total"; "items"; "value"; "result"; "data"; "acc" |]
@@ -354,4 +367,5 @@ let generate ~seed ~size =
   done;
   Gen_util.contents st
 
-let lang : Lang.t = { Lang.name = "minipy"; grammar; tokenize; generate }
+let lang : Lang.t =
+  { Lang.name = "minipy"; grammar; tokenize; tokenize_buf; generate }

@@ -4,12 +4,28 @@ type t = {
   start : state;
   trans : int array array;  (** state -> 256-entry successor array, -1 dead *)
   accepts : int option array;
+  accept_ix : int array;  (** accepting rule index per state, -1 if none *)
+  classes : int array;  (** byte -> equivalence class, 256 entries *)
+  num_classes : int;
+  ctrans : int array;  (** flat [state * num_classes] successor table *)
 }
 
 let start d = d.start
 let num_states d = Array.length d.trans
-let next d s c = d.trans.(s).(Char.code c)
 let accept d s = d.accepts.(s)
+let accept_ix d s = d.accept_ix.(s)
+
+let num_classes d = d.num_classes
+let class_of d c = d.classes.(Char.code c)
+let class_table d = d.classes
+let class_trans d = d.ctrans
+
+let next_class d s cls = d.ctrans.((s * d.num_classes) + cls)
+let next d s c = next_class d s d.classes.(Char.code c)
+
+(* The raw 256-column row walk the classes compress; kept as the oracle
+   for the class-correctness property (next ≡ next_raw on all bytes). *)
+let next_raw d s c = d.trans.(s).(Char.code c)
 
 module Key = struct
   type t = int list
@@ -18,6 +34,38 @@ module Key = struct
 end
 
 module Key_map = Map.Make (Key)
+
+(* Partition the 256 byte columns into equivalence classes: two bytes are
+   interchangeable iff every state moves to the same successor on both.
+   Scanners over ASCII-ish rule sets collapse 256 columns to a few dozen
+   classes, so the flat class-indexed table stays cache-resident where the
+   per-state 256-entry rows do not. *)
+let build_classes trans =
+  let n = Array.length trans in
+  let tbl = Hashtbl.create 64 in
+  let classes = Array.make 256 0 in
+  let reps = ref [] in
+  let num = ref 0 in
+  for c = 0 to 255 do
+    let column = Array.init n (fun s -> trans.(s).(c)) in
+    match Hashtbl.find_opt tbl column with
+    | Some id -> classes.(c) <- id
+    | None ->
+      let id = !num in
+      incr num;
+      Hashtbl.add tbl column id;
+      classes.(c) <- id;
+      reps := c :: !reps
+  done;
+  let reps = Array.of_list (List.rev !reps) in
+  let nc = !num in
+  let ctrans = Array.make (n * nc) (-1) in
+  for s = 0 to n - 1 do
+    for k = 0 to nc - 1 do
+      ctrans.((s * nc) + k) <- trans.(s).(reps.(k))
+    done
+  done;
+  (classes, nc, ctrans)
 
 let of_nfa nfa =
   let ids = ref Key_map.empty in
@@ -57,4 +105,6 @@ let of_nfa nfa =
   List.iter (fun (id, row) -> trans.(id) <- row) !trans_acc;
   let accepts = Array.make n None in
   List.iter (fun (id, a) -> accepts.(id) <- a) !accepts_acc;
-  { start; trans; accepts }
+  let accept_ix = Array.map (function Some ix -> ix | None -> -1) accepts in
+  let classes, num_classes, ctrans = build_classes trans in
+  { start; trans; accepts; accept_ix; classes; num_classes; ctrans }

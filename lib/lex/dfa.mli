@@ -1,8 +1,16 @@
-(** Subset construction: NFA to DFA with dense byte-indexed transitions.
+(** Subset construction: NFA to DFA with byte-equivalence-classed
+    transitions.
 
     Accepting DFA states carry the lowest accepting rule index of their NFA
     state set, implementing first-rule-wins tie-breaking for equal-length
-    matches. *)
+    matches.
+
+    The 256 byte columns are partitioned into equivalence classes (two
+    bytes are equivalent iff every state agrees on their successors);
+    transitions are stored once per class in a flat
+    [state * num_classes] int table plus a 256-entry byte→class map.
+    Stepping is two array reads; the raw per-state rows are retained as
+    the oracle for the class-correctness property test. *)
 
 type t
 
@@ -13,8 +21,30 @@ val num_states : t -> int
 
 val of_nfa : Nfa.t -> t
 
-(** [next dfa s c] is the successor state, or [-1] if the DFA dies. *)
+(** [next dfa s c] is the successor state, or [-1] if the DFA dies.
+    Steps through the class table. *)
 val next : t -> state -> char -> state
+
+(** [next_raw dfa s c] steps through the raw 256-column rows the class
+    table compresses — the differential oracle for {!next}. *)
+val next_raw : t -> state -> char -> state
 
 (** Accepting rule index of a state, if accepting. *)
 val accept : t -> state -> int option
+
+(** Like {!accept}, unboxed: the rule index, or [-1] if non-accepting. *)
+val accept_ix : t -> state -> int
+
+(** {2 Equivalence-class internals (for the compiled scanner)} *)
+
+val num_classes : t -> int
+val class_of : t -> char -> int
+
+(** The 256-entry byte→class map (do not mutate). *)
+val class_table : t -> int array
+
+(** The flat [state * num_classes] successor table (do not mutate). *)
+val class_trans : t -> int array
+
+(** [next_class dfa s cls] steps on a precomputed class id. *)
+val next_class : t -> state -> int -> state

@@ -3,7 +3,18 @@
     A scanner turns an input string into raw tokens using the
     maximal-munch rule; ties between rules matching the same length are
     broken by rule order (first rule wins), as in ANTLR and ocamllex.
-    Rules marked [Skip] match but emit nothing (whitespace, comments). *)
+    Rules marked [Skip] match but emit nothing (whitespace, comments).
+
+    Two pipelines share the same DFA:
+
+    - the legacy list pipeline ({!scan}/{!tokenize}), which materializes
+      a record, lexeme, and position per token — kept as the
+      differential oracle;
+    - the zero-copy buffer pipeline ({!compile}/{!scan_buf}), which
+      resolves each rule's terminal id against a grammar once, then
+      scans in a single pass into a struct-of-arrays
+      {!Costar_grammar.Token_buf.t} — no per-token records, no lexeme
+      substrings, positions recovered lazily from the newline table. *)
 
 type action =
   | Emit  (** produce a token named after the rule *)
@@ -22,6 +33,11 @@ type t
 (** @raise Invalid_argument if any rule accepts the empty string (such a
     rule could make the scanner loop). *)
 val make : rule list -> t
+
+(** The scanner's DFA (for tests and diagnostics). *)
+val dfa : t -> Dfa.t
+
+val rules : t -> rule list
 
 (** A raw token, before terminal-name resolution against a grammar. *)
 type raw = {
@@ -49,3 +65,28 @@ val scan : t -> string -> (raw list, error) result
 val tokenize :
   t -> Costar_grammar.Grammar.t -> string ->
   (Costar_grammar.Token.t list, error) result
+
+(** {2 The compiled (buffer) pipeline} *)
+
+type compiled
+
+(** [compile t g] resolves every [Emit] rule's name to a terminal of [g],
+    once.  [Error] lists the rules whose names are not terminals (the
+    legacy pipeline reports these lazily, only when such a token appears
+    in an input). *)
+val compile : t -> Costar_grammar.Grammar.t -> (compiled, string) result
+
+val scanner_of_compiled : compiled -> t
+
+(** [scan_buf c input] scans the whole input into a fresh token buffer.
+    Steady-state cost per token: the DFA walk plus three int writes —
+    no allocation. *)
+val scan_buf :
+  compiled -> string -> (Costar_grammar.Token_buf.t, error) result
+
+(** [scan_into c buf input] is {!scan_buf} into a caller-supplied buffer
+    (which must have been created over [input]).
+    @raise Lex_err on a lexical error. *)
+val scan_into : compiled -> Costar_grammar.Token_buf.t -> string -> unit
+
+exception Lex_err of error

@@ -1,0 +1,272 @@
+(* Differential tests for the zero-copy token pipeline: the compiled
+   buffer scanner against the legacy list scanner (tokens, lexemes,
+   positions), the equivalence-classed DFA stepping against the raw
+   256-column rows, the array-cursor parser against the list API, and
+   the steady-state allocation contract (~0 minor words per token). *)
+
+open Costar_grammar
+open Costar_core
+open Costar_lex
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- random scanner specs ----------------------------------------------- *)
+
+(* A small pool of handwritten regexes over {a, b, c, 0, 1, space}; random
+   specs pick a subset (in random order, exercising first-rule-wins) plus a
+   skip rule.  None accept the empty string. *)
+let regex_pool =
+  let open Regex in
+  [|
+    ("AB", str "ab");
+    ("ABC", str "abc");
+    ("AS", plus (chr 'a'));
+    ("BS", plus (chr 'b'));
+    ("LETTERS", plus (set "abc"));
+    ("NUM", plus (set "01"));
+    ("WORD", seq [ set "abc"; star (set "abc01") ]);
+    ("PAIR", seq [ set "ab"; set "01" ]);
+    ("OPT0", seq [ chr 'c'; opt (chr '0') ]);
+    ("MIX", seq [ chr 'b'; alt [ chr 'a'; chr '1' ] ]);
+  |]
+
+let gen_spec : Scanner.rule list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let n = Array.length regex_pool in
+  int_range 2 n >>= fun k ->
+  shuffle_l (List.init n Fun.id) >|= fun order ->
+  let picked = List.filteri (fun i _ -> i < k) order in
+  let rules =
+    List.map
+      (fun i ->
+        let name, re = regex_pool.(i) in
+        Scanner.rule name re)
+      picked
+  in
+  rules @ [ Scanner.rule "WS" ~skip:true Regex.(plus (chr ' ')) ]
+
+let gen_input : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 0 40 >>= fun len ->
+  string_size ~gen:(oneofl [ 'a'; 'b'; 'c'; '0'; '1'; ' ' ]) (return len)
+
+let arb_spec_input =
+  QCheck.make
+    ~print:(fun (rules, input) ->
+      Printf.sprintf "rules: %s\ninput: %S"
+        (String.concat " " (List.map (fun (r : Scanner.rule) -> r.name) rules))
+        input)
+    QCheck.Gen.(pair gen_spec gen_input)
+
+(* A grammar that declares every rule name as a terminal, so both
+   pipelines can resolve kinds. *)
+let grammar_for rules =
+  Grammar.define
+    ~extra_terminals:(List.map (fun (r : Scanner.rule) -> r.name) rules)
+    ~start:"S"
+    [ ("S", [ [] ]) ]
+
+let same_token (t1 : Token.t) (t2 : Token.t) =
+  t1.Token.term = t2.Token.term
+  && String.equal t1.Token.lexeme t2.Token.lexeme
+  && t1.Token.line = t2.Token.line
+  && t1.Token.col = t2.Token.col
+
+(* --- properties --------------------------------------------------------- *)
+
+let prop_scan_buf_agrees =
+  QCheck.Test.make ~count:1000
+    ~name:"scan_buf tokens/lexemes/positions = legacy tokenize"
+    arb_spec_input (fun (rules, input) ->
+      let sc = Scanner.make rules in
+      let g = grammar_for rules in
+      let compiled =
+        match Scanner.compile sc g with
+        | Ok c -> c
+        | Error msg -> QCheck.Test.fail_reportf "compile failed: %s" msg
+      in
+      match Scanner.tokenize sc g input, Scanner.scan_buf compiled input with
+      | Ok toks, Ok buf ->
+        List.length toks = Token_buf.length buf
+        && List.for_all2 same_token toks (Token_buf.to_tokens buf)
+      | Error e1, Error e2 ->
+        (* Same failure position, both pipelines. *)
+        e1.Scanner.err_line = e2.Scanner.err_line
+        && e1.Scanner.err_col = e2.Scanner.err_col
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let prop_classes_correct =
+  QCheck.Test.make ~count:300
+    ~name:"class-table stepping = raw-row stepping (all states x 256 bytes)"
+    arb_spec_input (fun (rules, _) ->
+      let d = Scanner.dfa (Scanner.make rules) in
+      let ok = ref true in
+      for s = 0 to Dfa.num_states d - 1 do
+        for c = 0 to 255 do
+          let c = Char.chr c in
+          if Dfa.next d s c <> Dfa.next_raw d s c then ok := false
+        done
+      done;
+      !ok)
+
+let prop_classes_partition =
+  QCheck.Test.make ~count:300
+    ~name:"class table is a partition of the byte range"
+    arb_spec_input (fun (rules, _) ->
+      let d = Scanner.dfa (Scanner.make rules) in
+      let tbl = Dfa.class_table d in
+      let nc = Dfa.num_classes d in
+      Array.length tbl = 256
+      && nc >= 1
+      && nc <= 256
+      && Array.for_all (fun k -> k >= 0 && k < nc) tbl
+      (* Every class id is inhabited. *)
+      && List.for_all
+           (fun k -> Array.exists (fun k' -> k' = k) tbl)
+           (List.init nc Fun.id))
+
+(* Parse differential: a scanner whose rules are single characters over the
+   random grammar's terminals, so that random words round-trip through a
+   real string input and both the list and buffer pipelines. *)
+let single_char_scanner_for g =
+  let rules =
+    List.init (Grammar.num_terminals g) (fun t ->
+        let name = Grammar.terminal_name g t in
+        Scanner.rule name (Regex.str name))
+  in
+  Scanner.make (rules @ [ Scanner.rule "WS" ~skip:true Regex.(plus (chr ' ')) ])
+
+let same_result r1 r2 =
+  match r1, r2 with
+  | Parser.Unique t1, Parser.Unique t2 -> Tree.equal t1 t2
+  | Parser.Ambig t1, Parser.Ambig t2 -> Tree.equal t1 t2
+  | Parser.Reject _, Parser.Reject _ -> true
+  | Parser.Error e1, Parser.Error e2 -> e1 = e2
+  | _ -> false
+
+let prop_parse_buf_agrees =
+  QCheck.Test.make ~count:400
+    ~name:"run_buf verdict+tree = list run verdict+tree"
+    Util.arb_grammar_word (fun (g, w) ->
+      match Left_recursion.check g with
+      | Error _ -> true
+      | Ok () -> (
+        let sc = single_char_scanner_for g in
+        let input = String.concat " " w in
+        let compiled =
+          match Scanner.compile sc g with
+          | Ok c -> c
+          | Error msg -> QCheck.Test.fail_reportf "compile failed: %s" msg
+        in
+        let p = Parser.make g in
+        match Scanner.tokenize sc g input, Scanner.scan_buf compiled input with
+        | Ok toks, Ok buf ->
+          (* Note: tree leaves carry positions from different laziness
+             paths; Tree.equal compares terminals and lexemes. *)
+          same_result (Parser.run p toks) (Parser.run_buf p buf)
+        | Error _, Error _ -> true
+        | _ -> false))
+
+(* --- language frontends -------------------------------------------------- *)
+
+let langs = Costar_langs.[ Json.lang; Xml.lang; Dot.lang; Minipy.lang ]
+
+let test_langs_differential () =
+  List.iter
+    (fun l ->
+      let name = l.Costar_langs.Lang.name in
+      List.iter
+        (fun seed ->
+          let input = Costar_langs.Lang.generate l ~seed ~size:120 in
+          let toks = Costar_langs.Lang.tokenize_exn l input in
+          let buf = Costar_langs.Lang.tokenize_buf_exn l input in
+          check_int
+            (Printf.sprintf "%s seed %d: token count" name seed)
+            (List.length toks) (Token_buf.length buf);
+          List.iteri
+            (fun i t ->
+              let t' = Token_buf.token buf i in
+              if not (same_token t t') then
+                Alcotest.failf
+                  "%s seed %d: token %d differs: (%d,%S,%d:%d) vs (%d,%S,%d:%d)"
+                  name seed i t.Token.term t.Token.lexeme t.Token.line
+                  t.Token.col t'.Token.term t'.Token.lexeme t'.Token.line
+                  t'.Token.col)
+            toks;
+          let p = Parser.make (Costar_langs.Lang.grammar l) in
+          check
+            (Printf.sprintf "%s seed %d: same parse result" name seed)
+            true
+            (same_result (Parser.run p toks) (Parser.run_buf p buf)))
+        [ 1; 2; 3 ])
+    langs
+
+let test_minipy_indent_error_agrees () =
+  (* Inconsistent dedent: both pipelines must reject, with the same
+     message. *)
+  let l = Costar_langs.Minipy.lang in
+  let input = "if x:\n    y = 1\n  z = 2\n" in
+  match
+    Costar_langs.Lang.tokenize l input, Costar_langs.Lang.tokenize_buf l input
+  with
+  | Error m1, Error m2 -> Alcotest.(check string) "same error" m1 m2
+  | _ -> Alcotest.fail "expected both pipelines to reject"
+
+(* --- steady-state allocation --------------------------------------------- *)
+
+let test_scan_minor_words () =
+  let l = Costar_langs.Json.lang in
+  let input = Costar_langs.Lang.generate l ~seed:7 ~size:2000 in
+  let compiled =
+    match
+      Scanner.compile
+        (Lazy.force Costar_langs.Json.scanner)
+        (Costar_langs.Lang.grammar l)
+    with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "compile failed: %s" msg
+  in
+  let buf = Token_buf.create_for_input input in
+  Scanner.scan_into compiled buf input;
+  let n = Token_buf.length buf in
+  check "corpus has tokens" true (n > 1000);
+  (* Warm re-scan of the same input into the cleared buffer: the per-token
+     cost must be three int writes, i.e. no minor-heap allocation at all
+     beyond fixed per-call noise. *)
+  Token_buf.clear buf;
+  let before = Gc.minor_words () in
+  Scanner.scan_into compiled buf input;
+  let words = Gc.minor_words () -. before in
+  check
+    (Printf.sprintf "minor words per token ~ 0 (got %.3f for %d tokens)"
+       (words /. float_of_int n) n)
+    true
+    (words /. float_of_int n < 0.01)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_scan_buf_agrees;
+      prop_classes_correct;
+      prop_classes_partition;
+      prop_parse_buf_agrees;
+    ]
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ("differential", props);
+      ( "langs",
+        [
+          Alcotest.test_case "buffer pipeline = legacy (4 langs)" `Quick
+            test_langs_differential;
+          Alcotest.test_case "minipy indent errors agree" `Quick
+            test_minipy_indent_error_agrees;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "steady-state scan allocates ~nothing" `Quick
+            test_scan_minor_words;
+        ] );
+    ]
