@@ -11,6 +11,7 @@
      E12 --only precache  offline DFA precompilation: analyze once, parse warm
      E13 --only intern    interned prediction hot path: cold vs warm us/token
      E14 --only pipeline  zero-copy token pipeline: list vs buffer MB/s
+     E15 --only batch     multicore batch parsing: 1/2/4/8 domains vs sequential
 
    With no --only option, all experiments run.  --quick shrinks the corpora
    (used for smoke checks); --bechamel additionally runs one Bechamel
@@ -19,6 +20,7 @@
 open Costar_grammar
 open Costar_langs
 module P = Costar_core.Parser
+module Batch = Costar_parallel.Batch
 module Stats = Costar_stats
 
 (* ------------------------------------------------------------------ *)
@@ -41,7 +43,7 @@ let parse_args () =
       ( "--only",
         Arg.String (fun s -> only := Some s),
         "<exp> run one experiment: \
-         fig8|fig9|fig10|fig11|ll1|ablation|earley|lookahead|gss|precache|intern|pipeline" );
+         fig8|fig9|fig10|fig11|ll1|ablation|earley|lookahead|gss|precache|intern|pipeline|batch" );
       ("--bechamel", Arg.Set bech, " also run Bechamel micro-benchmarks");
     ]
   in
@@ -785,6 +787,92 @@ let pipeline_bench cfg corpora =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E15: multicore batch parsing — domains vs sequential throughput     *)
+(* ------------------------------------------------------------------ *)
+
+let batch_bench cfg =
+  (* A dedicated, larger corpus: batch scaling is only measurable when
+     per-file parse work dominates the fixed per-round costs (domain spawn,
+     snapshot freeze, and OCaml 5's cross-domain minor-GC synchronization),
+     so E15 uses files an order of magnitude bigger than the fig9 sweep. *)
+  let corpora =
+    let n = if cfg.quick then 12 else 24 in
+    let h x = if cfg.quick then x / 2 else x in
+    [
+      build_corpus Json.lang ~n ~lo:2000 ~hi:(h 40000);
+      build_corpus Xml.lang ~n ~lo:2000 ~hi:(h 20000);
+      build_corpus Dot.lang ~n ~lo:2000 ~hi:(h 12000);
+      build_corpus Minipy.lang ~n:(min n 16) ~lo:1000 ~hi:(h 6000);
+    ]
+  in
+  print_endline
+    "== E15: multicore batch parsing (frozen DFA snapshot + per-domain \
+     overlays) ==";
+  print_endline
+    "(whole corpus tokenized+parsed per sample, warm shared prediction \
+     cache; min over samples;";
+  Printf.printf
+    " seq = sequential run_buf loop, Nd = run_batch over N domains; host \
+     reports %d recommended domain(s))\n"
+    (Domain.recommended_domain_count ());
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  Printf.printf "%-10s %6s %7s %9s %9s %9s %9s %9s %9s %9s\n" "Benchmark"
+    "files" "MB" "seq(ms)" "1d(ms)" "2d(ms)" "4d(ms)" "8d(ms)" "MB/s@4"
+    "x@4";
+  let json_speedup = ref nan in
+  List.iter
+    (fun { lang; files } ->
+      let inputs = Array.of_list (List.map (fun f -> f.src) files) in
+      let bytes = List.fold_left (fun a f -> a + f.bytes) 0 files in
+      let p = P.make (Lang.grammar lang) in
+      let tokenize s = Result.map Word.of_buf (Lang.tokenize_buf lang s) in
+      (* Saturate the shared cache on the whole corpus first, so every
+         configuration measures the same warm steady state and absorb
+         between samples is a no-op. *)
+      Array.iter
+        (fun src ->
+          match tokenize src with
+          | Ok w -> ignore (P.run_word p w)
+          | Error msg -> failwith msg)
+        inputs;
+      let trials = max 5 cfg.trials in
+      let seq_t =
+        time_best ~trials (fun () ->
+            Array.iter
+              (fun src ->
+                match tokenize src with
+                | Ok w -> ignore (P.run_word p w)
+                | Error msg -> failwith msg)
+              inputs)
+      in
+      let par_ts =
+        List.map
+          (fun d ->
+            ( d,
+              time_best ~trials (fun () ->
+                  ignore (Batch.run_batch ~domains:d p ~tokenize inputs)) ))
+          domain_counts
+      in
+      let t_at d = List.assoc d par_ts in
+      let speedup4 = seq_t /. t_at 4 in
+      if lang.Lang.name = "json" then json_speedup := speedup4;
+      Printf.printf
+        "%-10s %6d %7.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.1f %8.2fx\n"
+        lang.Lang.name (Array.length inputs)
+        (float_of_int bytes /. 1e6)
+        (seq_t *. 1e3)
+        (t_at 1 *. 1e3)
+        (t_at 2 *. 1e3)
+        (t_at 4 *. 1e3)
+        (t_at 8 *. 1e3)
+        (float_of_int bytes /. t_at 4 /. 1e6)
+        speedup4)
+    corpora;
+  (* Stable machine-readable line for the CI throughput gate. *)
+  Printf.printf "E15-gate json 4-domain speedup: %.2fx\n" !json_speedup;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per experiment)            *)
 (* ------------------------------------------------------------------ *)
 
@@ -902,5 +990,6 @@ let () =
   if wants cfg "precache" then precache cfg corpora;
   if wants cfg "intern" then intern_bench cfg corpora;
   if wants cfg "pipeline" then pipeline_bench cfg corpora;
+  if wants cfg "batch" then batch_bench cfg;
   if cfg.bechamel then bechamel_run corpora;
   print_endline "done."

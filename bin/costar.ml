@@ -3,6 +3,7 @@
      costar parse  --lang json file.json         parse with a built-in language
      costar parse  --grammar g.ebnf --tokens "a b c"   parse terminal names
      costar parse  --lang json --cache json.dfa file.json   warm-start parse
+     costar batch  --lang json -j 4 corpus/      parse a corpus in parallel
      costar check  --grammar g.ebnf              static grammar report
      costar lint   --grammar g.ebnf --lexer g.lexer   coded diagnostics
      costar analyze --grammar g.ebnf             static prediction analysis
@@ -592,6 +593,175 @@ let lex_cmd =
           and dump the token buffer.")
     term
 
+(* --- batch -------------------------------------------------------------- *)
+
+let batch_cmd =
+  let paths_arg =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Input files and/or directories (every regular file directly \
+             inside a directory is taken).")
+  in
+  let list_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "files" ] ~docv:"LIST"
+          ~doc:"Read additional input paths from LIST, one per line.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: the runtime's recommended domain \
+             count).")
+  in
+  let round_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "round-size" ] ~docv:"K"
+          ~doc:
+            "Files handed out per round; worker DFA overlays are merged \
+             into the shared cache between rounds (default: one round over \
+             the whole corpus).")
+  in
+  let quiet_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "quiet"; "q" ]
+          ~doc:"Suppress per-file verdict lines; only report failures.")
+  in
+  let stats_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print aggregate throughput (files/s, MB/s) and per-domain \
+             DFA-cache hit rates to stderr.")
+  in
+  let collect_inputs paths list_file =
+    let from_list =
+      match list_file with
+      | None -> []
+      | Some file ->
+        List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' (read_file file))
+    in
+    let expand path =
+      if Sys.is_directory path then
+        Sys.readdir path |> Array.to_list |> List.sort compare
+        |> List.map (Filename.concat path)
+        |> List.filter (fun f -> not (Sys.is_directory f))
+      else [ path ]
+    in
+    List.concat_map expand (paths @ List.map String.trim from_list)
+  in
+  let run lang paths list_file domains round_size quiet stats =
+    let name =
+      match lang with
+      | Some n -> n
+      | None ->
+        prerr_endline "costar batch: --lang is required";
+        exit 1
+    in
+    let l = or_die (find_lang name) in
+    let g = Costar_langs.Lang.grammar l in
+    let files =
+      match collect_inputs paths list_file with
+      | [] ->
+        prerr_endline "costar batch: no input files";
+        exit 1
+      | files -> Array.of_list files
+    in
+    let contents = Array.map read_file files in
+    let tokenize s =
+      Result.map Word.of_buf (Costar_langs.Lang.tokenize_buf l s)
+    in
+    let p = P.make g in
+    if stats then begin
+      Costar_core.Instr.reset ();
+      Costar_core.Instr.enabled := true
+    end;
+    let t0 = Unix.gettimeofday () in
+    let results, st =
+      Costar_parallel.Batch.run_batch ?domains ?round_size p ~tokenize contents
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Costar_core.Instr.enabled := false;
+    let failures = ref 0 in
+    Array.iteri
+      (fun i r ->
+        let file = files.(i) in
+        match r with
+        | Ok (P.Unique _) -> if not quiet then Printf.printf "%s: ok\n" file
+        | Ok (P.Ambig _) ->
+          if not quiet then Printf.printf "%s: ok (ambiguous)\n" file
+        | Ok (P.Reject msg) ->
+          incr failures;
+          Printf.printf "%s: syntax error: %s\n" file msg
+        | Ok (P.Error e) ->
+          incr failures;
+          Printf.printf "%s: error: %s\n" file
+            (Costar_core.Types.error_to_string g e)
+        | Error msg ->
+          incr failures;
+          Printf.printf "%s: lexical error: %s\n" file msg)
+      results;
+    if stats then begin
+      let module B = Costar_parallel.Batch in
+      let module I = Costar_core.Instr in
+      Printf.eprintf
+        "batch: %d files (%.2f MB) in %.4fs over %d domains, %d round(s): \
+         %.1f files/s, %.2f MB/s\n"
+        st.B.st_files
+        (float_of_int st.B.st_bytes /. 1e6)
+        wall st.B.st_domains st.B.st_rounds
+        (float_of_int st.B.st_files /. wall)
+        (float_of_int st.B.st_bytes /. wall /. 1e6);
+      Printf.eprintf "dfa cache: %d states before, %d after absorption\n"
+        st.B.st_states_before st.B.st_states_after;
+      Array.iteri
+        (fun d ds ->
+          let c = ds.B.ds_cache in
+          let hits = c.I.trans_hits and misses = c.I.trans_misses in
+          let pct =
+            if hits + misses = 0 then "-"
+            else
+              Printf.sprintf "%.1f%% hit"
+                (100. *. float_of_int hits /. float_of_int (hits + misses))
+          in
+          Printf.eprintf
+            "domain %d: %d files, %.2f MB, %d new states; dfa transitions \
+             %d hits / %d misses (%s)\n"
+            d ds.B.ds_files
+            (float_of_int ds.B.ds_bytes /. 1e6)
+            ds.B.ds_new_states hits misses pct)
+        st.B.st_per_domain
+    end;
+    if !failures > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const run $ lang_arg $ paths_arg $ list_arg $ domains_arg $ round_arg
+      $ quiet_arg $ stats_arg)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Parse a corpus of files in parallel across OCaml domains, sharing \
+          a frozen prediction-DFA snapshot (per-file verdicts; exit 1 if \
+          any file fails).")
+    term
+
 (* --- gen ---------------------------------------------------------------- *)
 
 let gen_cmd =
@@ -658,6 +828,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            parse_cmd; check_cmd; lint_cmd; analyze_cmd; atn_cmd; lex_cmd;
-            gen_cmd; sample_cmd;
+            parse_cmd; batch_cmd; check_cmd; lint_cmd; analyze_cmd; atn_cmd;
+            lex_cmd; gen_cmd; sample_cmd;
           ]))

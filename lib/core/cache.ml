@@ -65,8 +65,20 @@ type t = {
   (* One shared [Unique_pred ix] box per production, so the warm path and
      single-alternative decisions never re-allocate their verdict. *)
   uniq : Types.prediction array;
+  (* Two-level layering for parallel batch parsing: an overlay cache holds a
+     [base] — a frozen snapshot that is never mutated again and is therefore
+     safe to consult from many domains without locks — and records only the
+     entries discovered past it.  Id spaces are global: config ids below
+     [base_cfgs] and state ids below [base_states] belong to the base;
+     [cfgs]/[keys]/[infos] are indexed by [id - base_*], while [closures]
+     and [trans] are global-indexed so an overlay can attach a closure memo
+     or transition row to a base-range id it does not own.  A plain cache is
+     the degenerate overlay: [base = None], both offsets 0. *)
+  base : t option;
+  base_cfgs : int;
+  base_states : int;
   (* dense ids for configurations; [closures] is the per-configuration
-     closure memo, indexed by config id *)
+     closure memo, indexed by (global) config id *)
   cfg_ids : int Config.Sll_tbl.t;
   mutable cfgs : Config.sll array;
   mutable closures : closure_result option array;
@@ -78,7 +90,7 @@ type t = {
   mutable infos : info array;
   mutable trans : int array array;
   mutable n_states : int;
-  mutable n_trans : int;
+  mutable n_trans : int; (* transitions added at THIS layer *)
   inits : int array; (* nonterminal -> initial state id, or -1 *)
 }
 
@@ -92,6 +104,9 @@ let create anl =
       Array.init
         (Array.length (Grammar.prods g))
         (fun ix -> Types.Unique_pred ix);
+    base = None;
+    base_cfgs = 0;
+    base_states = 0;
     cfg_ids = Config.Sll_tbl.create 256;
     cfgs = Array.make 256 dummy_cfg;
     closures = Array.make 256 None;
@@ -108,7 +123,10 @@ let create anl =
 let frames c = c.frames
 let analysis c = c.anl
 let num_states c = c.n_states
-let num_transitions c = c.n_trans
+
+let rec num_transitions c =
+  c.n_trans + match c.base with None -> 0 | Some b -> num_transitions b
+
 let num_configs c = c.n_cfgs
 
 let grow arr count fill =
@@ -122,19 +140,54 @@ let grow arr count fill =
 let config_id c cfg =
   match Config.Sll_tbl.find_opt c.cfg_ids cfg with
   | Some id -> id
-  | None ->
-    let id = c.n_cfgs in
-    c.cfgs <- grow c.cfgs id dummy_cfg;
-    c.closures <- grow c.closures id None;
-    c.cfgs.(id) <- cfg;
-    Config.Sll_tbl.add c.cfg_ids cfg id;
-    c.n_cfgs <- id + 1;
-    id
+  | None -> (
+    let in_base =
+      match c.base with
+      | None -> None
+      | Some b -> Config.Sll_tbl.find_opt b.cfg_ids cfg
+    in
+    match in_base with
+    | Some id -> id
+    | None ->
+      let id = c.n_cfgs in
+      let off = id - c.base_cfgs in
+      c.cfgs <- grow c.cfgs off dummy_cfg;
+      c.closures <- grow c.closures id None;
+      c.cfgs.(off) <- cfg;
+      Config.Sll_tbl.add c.cfg_ids cfg id;
+      c.n_cfgs <- id + 1;
+      id)
 
-let find_init c x = if c.inits.(x) < 0 then None else Some c.inits.(x)
+let cfg_of_id c id =
+  if id < c.base_cfgs then
+    match c.base with
+    | Some b -> b.cfgs.(id)
+    | None -> assert false
+  else c.cfgs.(id - c.base_cfgs)
+
+(* The closure memo for a global config id, consulting the overlay layer
+   first (it may shadow a base-range id the base never computed). *)
+let closure_of_id c id =
+  match if id < Array.length c.closures then c.closures.(id) else None with
+  | Some _ as r -> r
+  | None -> (
+    match c.base with
+    | Some b when id < c.base_cfgs -> b.closures.(id)
+    | _ -> None)
 
 (* Raw variants for the warm prediction fast path: no option/box per call. *)
-let init_get c x = c.inits.(x)
+let rec init_get c x =
+  let s = c.inits.(x) in
+  if s >= 0 then s
+  else
+    match c.base with
+    | Some b -> init_get b x
+    | None -> -1
+
+let find_init c x =
+  let s = init_get c x in
+  if s < 0 then None else Some s
+
 let unique_pred c ix = c.uniq.(ix)
 
 let add_init c x sid =
@@ -170,30 +223,49 @@ let compute_info uniq configs =
 let intern c configs =
   let key = Array.of_list (List.map (config_id c) configs) in
   Array.sort (fun (a : int) b -> compare a b) key;
-  match Key_tbl.find_opt c.state_ids key with
+  let known =
+    match Key_tbl.find_opt c.state_ids key with
+    | Some _ as sid -> sid
+    | None -> (
+      match c.base with
+      | None -> None
+      | Some b -> Key_tbl.find_opt b.state_ids key)
+  in
+  match known with
   | Some sid -> (c, sid)
   | None ->
     let sid = c.n_states in
-    c.keys <- grow c.keys sid no_row;
-    c.infos <- grow c.infos sid dummy_info;
+    let off = sid - c.base_states in
+    c.keys <- grow c.keys off no_row;
+    c.infos <- grow c.infos off dummy_info;
     c.trans <- grow c.trans sid no_row;
-    c.keys.(sid) <- key;
-    c.infos.(sid) <- compute_info c.uniq configs;
+    c.keys.(off) <- key;
+    c.infos.(off) <- compute_info c.uniq configs;
     Key_tbl.add c.state_ids key sid;
     c.n_states <- sid + 1;
     Instr.record_state_intern ();
     (c, sid)
 
-let info c sid =
+let rec info c sid =
   if sid < 0 || sid >= c.n_states then
     invalid_arg "Cache.info: unknown state id"
-  else c.infos.(sid)
+  else if sid < c.base_states then
+    match c.base with
+    | Some b -> info b sid
+    | None -> assert false
+  else c.infos.(sid - c.base_states)
 
 (* The warm-path transition read: -1 when absent.  [find_trans] wraps it in
-   an option for ordinary callers. *)
-let trans_get c sid a =
+   an option for ordinary callers.  An overlay row, once created, shadows
+   the whole base row for its state (copy-on-write in [add_trans]), so the
+   fallthrough fires only while a state has no overlay row at all. *)
+let rec trans_get c sid a =
   let row = Array.unsafe_get c.trans sid in
-  if row == no_row then -1 else Array.unsafe_get row a
+  if row != no_row then Array.unsafe_get row a
+  else
+    match c.base with
+    | Some b when sid < c.base_states -> trans_get b sid a
+    | _ -> -1
 
 let find_trans c sid a =
   let s = trans_get c sid a in
@@ -204,7 +276,16 @@ let add_trans c sid a sid' =
     let row = c.trans.(sid) in
     if row != no_row then row
     else begin
-      let row = Array.make (max 1 c.n_terms) (-1) in
+      let row =
+        match c.base with
+        | Some b when sid < c.base_states ->
+          (* Copy-on-write: seed the overlay row from the (immutable) base
+             row so it fully shadows it for reads. *)
+          let brow = b.trans.(sid) in
+          if brow == no_row then Array.make (max 1 c.n_terms) (-1)
+          else Array.copy brow
+        | _ -> Array.make (max 1 c.n_terms) (-1)
+      in
       c.trans.(sid) <- row;
       row
     end
@@ -218,18 +299,29 @@ let add_trans c sid a sid' =
   c
 
 let find_closure c cfg =
-  match Config.Sll_tbl.find_opt c.cfg_ids cfg with
+  let id =
+    match Config.Sll_tbl.find_opt c.cfg_ids cfg with
+    | Some _ as id -> id
+    | None -> (
+      match c.base with
+      | None -> None
+      | Some b -> Config.Sll_tbl.find_opt b.cfg_ids cfg)
+  in
+  match id with
   | None -> None
-  | Some id -> c.closures.(id)
+  | Some id -> closure_of_id c id
 
 let add_closure c cfg result =
-  c.closures.(config_id c cfg) <- Some result;
+  let id = config_id c cfg in
+  c.closures <- grow c.closures id None;
+  c.closures.(id) <- Some result;
   c
 
 (* An independent cache seeded with this one's contents: subsequent
    additions to either copy do not affect the other.  State/config ids are
    preserved.  (Info records and key arrays are immutable once written and
-   are shared; transition rows are mutable and are duplicated.) *)
+   are shared; transition rows are mutable and are duplicated.  An
+   overlay's base is immutable by construction and stays shared.) *)
 let copy c =
   {
     c with
@@ -243,6 +335,100 @@ let copy c =
       Array.map (fun row -> if row == no_row then row else Array.copy row) c.trans;
     inits = Array.copy c.inits;
   }
+
+(* {2 Freezing and overlays}
+
+   [freeze] snapshots a plain cache into a value that is never mutated
+   again; under the OCaml memory model, data that is published before
+   [Domain.spawn] and never written afterwards can be read from any number
+   of domains without synchronization, so one frozen snapshot serves a
+   whole worker pool.  Each worker consults the snapshot through its own
+   [overlay] — an ordinary [t] whose misses extend a private layer — and
+   the layers are merged back into a master cache with [absorb] between
+   rounds, so warm-up compounds.
+
+   [absorb] is deliberately value-level: it re-interns the source's config
+   lists into the destination rather than assuming compatible state
+   numbering.  Config values ([s_pred], [s_frames], [s_ctx]) are meaningful
+   process-wide because every cache of one analysis shares the same
+   {!Costar_grammar.Frames} interner, so this is exact, and it makes
+   [absorb] idempotent and content-level order-independent. *)
+
+type frozen = t
+
+let freeze c =
+  match c.base with
+  | Some _ -> invalid_arg "Cache.freeze: cannot freeze an overlay"
+  | None -> copy c
+
+let frozen_num_states (fz : frozen) = fz.n_states
+let frozen_num_transitions (fz : frozen) = num_transitions fz
+
+let overlay (fz : frozen) =
+  {
+    anl = fz.anl;
+    frames = fz.frames;
+    n_terms = fz.n_terms;
+    uniq = fz.uniq;
+    base = Some fz;
+    base_cfgs = fz.n_cfgs;
+    base_states = fz.n_states;
+    cfg_ids = Config.Sll_tbl.create 64;
+    cfgs = Array.make 64 dummy_cfg;
+    closures = Array.make (fz.n_cfgs + 64) None;
+    n_cfgs = fz.n_cfgs;
+    state_ids = Key_tbl.create 64;
+    keys = Array.make 64 no_row;
+    infos = Array.make 64 dummy_info;
+    trans = Array.make (fz.n_states + 64) no_row;
+    n_states = fz.n_states;
+    n_trans = 0;
+    inits = Array.make (Array.length fz.inits) (-1);
+  }
+
+let overlay_new_states c = c.n_states - c.base_states
+
+let absorb dst src =
+  if dst == src then dst
+  else begin
+    (* src state id -> dst state id, by re-interning config values. *)
+    let map = Hashtbl.create 64 in
+    let map_sid sid =
+      match Hashtbl.find_opt map sid with
+      | Some d -> d
+      | None ->
+        let _, d = intern dst (info src sid).configs in
+        Hashtbl.add map sid d;
+        d
+    in
+    (* Replay every transition materialized at src's own layer.  Rows for
+       base-range states were seeded from the base row (copy-on-write), so
+       some replayed entries are base facts the destination already has —
+       harmless, [add_trans] is idempotent. *)
+    for sid = 0 to src.n_states - 1 do
+      let row = src.trans.(sid) in
+      if row != no_row then
+        for a = 0 to Array.length row - 1 do
+          let s' = row.(a) in
+          if s' >= 0 then ignore (add_trans dst (map_sid sid) a (map_sid s'))
+        done
+    done;
+    Array.iteri
+      (fun x s ->
+        if s >= 0 && init_get dst x < 0 then ignore (add_init dst x (map_sid s)))
+      src.inits;
+    (* Closure memos recorded at src's layer.  Results are config values,
+       valid verbatim in dst (shared frames interner); recomputation is
+       deterministic, so overwriting an existing entry rewrites it with an
+       equal value. *)
+    for id = 0 to src.n_cfgs - 1 do
+      if id < Array.length src.closures then
+        match src.closures.(id) with
+        | None -> ()
+        | Some r -> ignore (add_closure dst (cfg_of_id src id) r)
+    done;
+    dst
+  end
 
 (* Persistence.
 
@@ -290,23 +476,22 @@ let encode_config c p =
 let to_portable c =
   let p_states =
     Array.init c.n_states (fun sid ->
-        List.map (decode_config c) c.infos.(sid).configs)
+        List.map (decode_config c) (info c sid).configs)
   in
   let p_trans = ref [] in
   for sid = c.n_states - 1 downto 0 do
-    let row = c.trans.(sid) in
-    if row != no_row then
-      for a = Array.length row - 1 downto 0 do
-        if row.(a) >= 0 then p_trans := (sid, a, row.(a)) :: !p_trans
-      done
+    for a = c.n_terms - 1 downto 0 do
+      let s = trans_get c sid a in
+      if s >= 0 then p_trans := (sid, a, s) :: !p_trans
+    done
   done;
   let p_inits = ref [] in
   for x = Array.length c.inits - 1 downto 0 do
-    if c.inits.(x) >= 0 then p_inits := (x, c.inits.(x)) :: !p_inits
+    if init_get c x >= 0 then p_inits := (x, init_get c x) :: !p_inits
   done;
   let p_closures = ref [] in
   for id = c.n_cfgs - 1 downto 0 do
-    match c.closures.(id) with
+    match closure_of_id c id with
     | None -> ()
     | Some r ->
       let r' =
@@ -314,7 +499,7 @@ let to_portable c =
           (fun (stable, forked) -> (List.map (decode_config c) stable, forked))
           r
       in
-      p_closures := (decode_config c c.cfgs.(id), r') :: !p_closures
+      p_closures := (decode_config c (cfg_of_id c id), r') :: !p_closures
   done;
   {
     p_states;
@@ -392,8 +577,17 @@ let of_precompiled ~anl ~fingerprint s =
                   Error
                     "corrupt prediction cache (truncated or damaged payload)"
                 | p -> (
+                  (* The payload unmarshalled but may still be structurally
+                     bogus (fuzzed or bit-rotted dump): rebuilding can then
+                     fail anywhere inside re-interning, so no exception at
+                     all may escape as anything but a typed error. *)
                   match of_portable anl p with
                   | exception Invalid_argument msg -> Error msg
+                  | exception e ->
+                    Error
+                      (Printf.sprintf
+                         "corrupt prediction cache (damaged payload: %s)"
+                         (Printexc.to_string e))
                   | c -> Ok c)))))
   | _ -> Error "not a costar prediction cache (bad magic)"
 

@@ -64,6 +64,48 @@ val frames : t -> Frames.t
     either do not affect the other. *)
 val copy : t -> t
 
+(** {1 Freezing and overlays (parallel batch parsing)}
+
+    A {!frozen} value is a snapshot of a cache that is never mutated again.
+    Under the OCaml memory model, data published before [Domain.spawn] and
+    never written afterwards is safe to read from any number of domains
+    without locks, so one snapshot serves a whole worker pool.  Each worker
+    consults it through its own {!overlay} — an ordinary [t] that answers
+    reads from the snapshot and records misses in a private layer — and
+    the private layers are merged back into a master cache with {!absorb}
+    between rounds, so warm-up compounds across batches.
+
+    Because cache contents only ever influence parse {e speed}, never
+    results (the differential property in [test/test_parallel.ml]), any
+    interleaving of overlay growth and absorption is observationally
+    benign. *)
+
+type frozen
+
+(** Snapshot a cache.  The argument remains usable and mutable; the
+    snapshot is independent of it.  Raises [Invalid_argument] on an overlay
+    (freeze the master cache the overlays were absorbed into instead). *)
+val freeze : t -> frozen
+
+(** A fresh mutable overlay over a frozen snapshot.  Reads fall through to
+    the snapshot; writes stay in the overlay.  Many overlays may share one
+    snapshot, each confined to a single domain. *)
+val overlay : frozen -> t
+
+(** [absorb dst src] merges everything recorded at [src]'s own layer into
+    [dst] and returns [dst].  States are matched by configuration {e value}
+    (exact, since every cache of one analysis shares the same frames
+    interner), not by id, so [absorb] is idempotent and — up to id
+    assignment, which is unobservable — order-independent. *)
+val absorb : t -> t -> t
+
+val frozen_num_states : frozen -> int
+val frozen_num_transitions : frozen -> int
+
+(** Number of DFA states interned at this cache's own layer: overlay-local
+    states for an overlay, all states for a plain cache. *)
+val overlay_new_states : t -> int
+
 val num_states : t -> int
 val num_transitions : t -> int
 

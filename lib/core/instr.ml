@@ -5,7 +5,13 @@
     they consumed; the DFA cache additionally counts state interns,
     transition hits/misses and closure-memo hits/misses.  Used by
     [costar parse --stats], the benchmark harness and for performance
-    debugging; zero-cost-ish when disabled (one branch per event). *)
+    debugging; zero-cost-ish when disabled (one branch per event).
+
+    All counters live in domain-local storage: each domain accumulates its
+    own tallies, so parallel batch workers never contend (and per-domain
+    DFA hit rates fall out for free — a worker snapshots [cache_totals]
+    before it joins).  [enabled] stays a single global flag, flipped only
+    while no worker domains are running. *)
 
 let enabled = ref false
 
@@ -14,8 +20,39 @@ type counter = {
   mutable tokens : int;
 }
 
-let sll_tbl : (int, counter) Hashtbl.t = Hashtbl.create 64
-let ll_tbl : (int, counter) Hashtbl.t = Hashtbl.create 64
+(** DFA cache counters (see {!Cache} and {!Sll.loop}): how often the warm
+    path hit a precomputed transition vs fell back to closure work, how many
+    states were interned, and how the per-configuration closure memo fared. *)
+type cache_counters = {
+  mutable state_interns : int;
+  mutable trans_hits : int;
+  mutable trans_misses : int;
+  mutable closure_hits : int;
+  mutable closure_misses : int;
+}
+
+type state = {
+  sll_tbl : (int, counter) Hashtbl.t;
+  ll_tbl : (int, counter) Hashtbl.t;
+  cache : cache_counters;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      {
+        sll_tbl = Hashtbl.create 64;
+        ll_tbl = Hashtbl.create 64;
+        cache =
+          {
+            state_interns = 0;
+            trans_hits = 0;
+            trans_misses = 0;
+            closure_hits = 0;
+            closure_misses = 0;
+          };
+      })
+
+let state () = Domain.DLS.get key
 
 let record tbl x n =
   let c =
@@ -29,70 +66,87 @@ let record tbl x n =
   c.calls <- c.calls + 1;
   c.tokens <- c.tokens + n
 
-let record_sll x n = if !enabled then record sll_tbl x n
-let record_ll x n = if !enabled then record ll_tbl x n
-
-(** DFA cache counters (see {!Cache} and {!Sll.loop}): how often the warm
-    path hit a precomputed transition vs fell back to closure work, how many
-    states were interned, and how the per-configuration closure memo fared. *)
-type cache_counters = {
-  mutable state_interns : int;
-  mutable trans_hits : int;
-  mutable trans_misses : int;
-  mutable closure_hits : int;
-  mutable closure_misses : int;
-}
-
-let cache =
-  {
-    state_interns = 0;
-    trans_hits = 0;
-    trans_misses = 0;
-    closure_hits = 0;
-    closure_misses = 0;
-  }
+let record_sll x n = if !enabled then record (state ()).sll_tbl x n
+let record_ll x n = if !enabled then record (state ()).ll_tbl x n
 
 let record_state_intern () =
-  if !enabled then cache.state_interns <- cache.state_interns + 1
+  if !enabled then
+    let c = (state ()).cache in
+    c.state_interns <- c.state_interns + 1
 
 let record_trans_hit () =
-  if !enabled then cache.trans_hits <- cache.trans_hits + 1
+  if !enabled then
+    let c = (state ()).cache in
+    c.trans_hits <- c.trans_hits + 1
 
 let record_trans_miss () =
-  if !enabled then cache.trans_misses <- cache.trans_misses + 1
+  if !enabled then
+    let c = (state ()).cache in
+    c.trans_misses <- c.trans_misses + 1
 
 let record_closure_hit () =
-  if !enabled then cache.closure_hits <- cache.closure_hits + 1
+  if !enabled then
+    let c = (state ()).cache in
+    c.closure_hits <- c.closure_hits + 1
 
 let record_closure_miss () =
-  if !enabled then cache.closure_misses <- cache.closure_misses + 1
+  if !enabled then
+    let c = (state ()).cache in
+    c.closure_misses <- c.closure_misses + 1
 
+(** Reset the calling domain's counters. *)
 let reset () =
-  Hashtbl.reset sll_tbl;
-  Hashtbl.reset ll_tbl;
-  cache.state_interns <- 0;
-  cache.trans_hits <- 0;
-  cache.trans_misses <- 0;
-  cache.closure_hits <- 0;
-  cache.closure_misses <- 0
+  let st = state () in
+  Hashtbl.reset st.sll_tbl;
+  Hashtbl.reset st.ll_tbl;
+  st.cache.state_interns <- 0;
+  st.cache.trans_hits <- 0;
+  st.cache.trans_misses <- 0;
+  st.cache.closure_hits <- 0;
+  st.cache.closure_misses <- 0
 
-(** Totals: (sll calls, sll lookahead tokens, ll calls, ll lookahead). *)
+(** Totals for the calling domain: (sll calls, sll lookahead tokens,
+    ll calls, ll lookahead). *)
 let totals () =
+  let st = state () in
   let sum tbl f = Hashtbl.fold (fun _ c acc -> acc + f c) tbl 0 in
-  ( sum sll_tbl (fun c -> c.calls),
-    sum sll_tbl (fun c -> c.tokens),
-    sum ll_tbl (fun c -> c.calls),
-    sum ll_tbl (fun c -> c.tokens) )
+  ( sum st.sll_tbl (fun c -> c.calls),
+    sum st.sll_tbl (fun c -> c.tokens),
+    sum st.ll_tbl (fun c -> c.calls),
+    sum st.ll_tbl (fun c -> c.tokens) )
 
-(** A copy of the current DFA cache counters. *)
-let cache_totals () = { cache with state_interns = cache.state_interns }
+(** A copy of the calling domain's DFA cache counters. *)
+let cache_totals () =
+  let c = (state ()).cache in
+  { c with state_interns = c.state_interns }
 
-(** Per-nonterminal rows sorted by lookahead volume: (nt, mode, calls,
-    tokens). *)
+(** Sum a list of counter snapshots (e.g. one per worker domain). *)
+let sum_cache_counters l =
+  List.fold_left
+    (fun acc c ->
+      {
+        state_interns = acc.state_interns + c.state_interns;
+        trans_hits = acc.trans_hits + c.trans_hits;
+        trans_misses = acc.trans_misses + c.trans_misses;
+        closure_hits = acc.closure_hits + c.closure_hits;
+        closure_misses = acc.closure_misses + c.closure_misses;
+      })
+    {
+      state_interns = 0;
+      trans_hits = 0;
+      trans_misses = 0;
+      closure_hits = 0;
+      closure_misses = 0;
+    }
+    l
+
+(** Per-nonterminal rows for the calling domain, sorted by lookahead
+    volume: (nt, mode, calls, tokens). *)
 let report () =
+  let st = state () in
   let rows tbl mode =
     Hashtbl.fold (fun x c acc -> (x, mode, c.calls, c.tokens) :: acc) tbl []
   in
   List.sort
     (fun (_, _, _, t1) (_, _, _, t2) -> compare t2 t1)
-    (rows sll_tbl `Sll @ rows ll_tbl `Ll)
+    (rows st.sll_tbl `Sll @ rows st.ll_tbl `Ll)

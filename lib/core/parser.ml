@@ -77,4 +77,9 @@ let run_inspect p ~inspect tokens =
     (multistep p.menv ~inspect
        (Machine.init p.menv ~cache:(base_cache p) tokens))
 
+let run_inspect_word p ~inspect word =
+  fst
+    (multistep p.menv ~inspect
+       (Machine.init_word p.menv ~cache:(base_cache p) word))
+
 let parse g tokens = run (make g) tokens

@@ -70,5 +70,9 @@ val run_with_cache_word : t -> Cache.t -> Word.t -> result * Cache.t
 val run_inspect :
   t -> inspect:(Machine.state -> unit) -> Token.t list -> result
 
+(** Cursor form of {!run_inspect}, driving the zero-copy [run_word] path. *)
+val run_inspect_word :
+  t -> inspect:(Machine.state -> unit) -> Word.t -> result
+
 (** One-shot convenience: [parse g w = run (make g) w]. *)
 val parse : Grammar.t -> Token.t list -> result

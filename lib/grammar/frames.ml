@@ -37,6 +37,14 @@ type t = {
   (* production ix -> frame of its full right-hand side *)
   rhs_frames : frame array;
   fp : string;
+  (* Serializes dynamic interning ([cons], [frame_of_syms]) so domains
+     parsing in parallel can extend the shared tables.  Readers stay
+     lock-free: a domain only ever dereferences ids it interned itself or
+     ids published before it was spawned, both of which happen-before the
+     read, and [grow] replaces arrays without disturbing the prefix a stale
+     reader might still hold.  The lock sits on the prediction slow path
+     (cache-miss closure work) only — the warm path never interns. *)
+  lock : Mutex.t;
 }
 
 let empty_frame = 0
@@ -56,12 +64,15 @@ let head_of t = function
   | NT x :: rest -> Nonterm (x, Syms_tbl.find t.f_ids rest)
 
 (* Intern a suffix whose own tail suffix is already interned (callers go
-   shortest-first), or any symbol list by recursing on the tail. *)
-let rec frame_of_syms t syms =
+   shortest-first), or any symbol list by recursing on the tail.  Callers
+   must hold [t.lock] (or be single-threaded construction code). *)
+let rec frame_of_syms_locked t syms =
   match Syms_tbl.find_opt t.f_ids syms with
   | Some f -> f
   | None ->
-    (match syms with [] -> () | _ :: rest -> ignore (frame_of_syms t rest));
+    (match syms with
+    | [] -> ()
+    | _ :: rest -> ignore (frame_of_syms_locked t rest));
     let f = t.f_count in
     t.f_syms <- grow t.f_syms f [];
     t.f_head <- grow t.f_head f Empty;
@@ -70,6 +81,18 @@ let rec frame_of_syms t syms =
     t.f_head.(f) <- head_of t syms;
     t.f_count <- f + 1;
     f
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let frame_of_syms t syms = with_lock t (fun () -> frame_of_syms_locked t syms)
 
 let make g =
   let n_prods = Grammar.num_productions g in
@@ -87,6 +110,7 @@ let make g =
       s_count = 1 (* spine 0 is nil *);
       rhs_frames = Array.make (max 1 n_prods) 0;
       fp = "";
+      lock = Mutex.create ();
     }
   in
   ignore (frame_of_syms t []);
@@ -130,7 +154,7 @@ let num_frames t = t.f_count
 let num_static_frames t = t.static_frames
 let fingerprint t = t.fp
 
-let cons t f s =
+let cons_locked t f s =
   let key = (f lsl 31) lor s in
   match Hashtbl.find_opt t.s_ids key with
   | Some sp -> sp
@@ -146,6 +170,8 @@ let cons t f s =
     t.s_count <- sp + 1;
     sp
 
+let cons t f s = with_lock t (fun () -> cons_locked t f s)
+
 let spine_is_nil s = s = 0
 
 let spine_frame t s =
@@ -160,7 +186,10 @@ let spine_length t s = t.s_len.(s)
 let num_spines t = t.s_count
 
 let spine_of_frames t frames =
-  List.fold_right (fun syms s -> cons t (frame_of_syms t syms) s) frames nil
+  with_lock t (fun () ->
+      List.fold_right
+        (fun syms s -> cons_locked t (frame_of_syms_locked t syms) s)
+        frames nil)
 
 let frames_of_spine t s =
   let rec go s acc =

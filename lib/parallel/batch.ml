@@ -1,0 +1,114 @@
+open Costar_core
+
+type domain_stats = {
+  ds_files : int;
+  ds_bytes : int;
+  ds_new_states : int;
+  ds_cache : Instr.cache_counters;
+}
+
+type stats = {
+  st_domains : int;
+  st_rounds : int;
+  st_files : int;
+  st_bytes : int;
+  st_states_before : int;
+  st_states_after : int;
+  st_per_domain : domain_stats array;
+}
+
+let run_batch ?domains ?round_size p ~tokenize inputs =
+  let n = Array.length inputs in
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let round_size =
+    match round_size with
+    | Some r -> max 1 r
+    | None -> max 1 n
+  in
+  (* Publish everything the workers will read BEFORE the first spawn: the
+     parser's base cache is built lazily behind a mutable field, and the
+     tokenizer compiles its scanner behind a lazy — both must be forced on
+     this domain so workers only ever read them. *)
+  ignore (Parser.base_cache p);
+  (try ignore (tokenize "") with _ -> ());
+  let states_before = Cache.num_states (Parser.base_cache p) in
+  let results = Array.make n (Error "costar batch: file not reached") in
+  let per_files = Array.make domains 0 in
+  let per_bytes = Array.make domains 0 in
+  let per_new = Array.make domains 0 in
+  let per_cache = Array.make domains [] in
+  let rounds = ref 0 in
+  let lo = ref 0 in
+  while !lo < n do
+    incr rounds;
+    let hi = min n (!lo + round_size) in
+    (* Work queue: an atomic cursor over [!lo, hi).  Workers pull the next
+       unclaimed index, so large files load-balance instead of pinning one
+       unlucky domain. *)
+    let next = Atomic.make !lo in
+    let fz = Cache.freeze (Parser.base_cache p) in
+    let worker () =
+      let cache = Cache.overlay fz in
+      let files = ref 0 in
+      let bytes = ref 0 in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < hi then begin
+          let input = inputs.(i) in
+          results.(i) <-
+            (match tokenize input with
+            | Error msg -> Error msg
+            | Ok word -> Ok (fst (Parser.run_with_cache_word p cache word)));
+          incr files;
+          bytes := !bytes + String.length input;
+          loop ()
+        end
+      in
+      loop ();
+      (cache, !files, !bytes, Instr.cache_totals ())
+    in
+    let ds = Array.init domains (fun _ -> Domain.spawn worker) in
+    (* Join every domain before surfacing a failure: no worker may still be
+       touching shared state when the exception propagates. *)
+    let joined = Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) ds in
+    Array.iter
+      (function
+        | Error e -> raise e
+        | Ok _ -> ())
+      joined;
+    Array.iteri
+      (fun d r ->
+        match r with
+        | Ok (cache, files, bytes, counters) ->
+          per_files.(d) <- per_files.(d) + files;
+          per_bytes.(d) <- per_bytes.(d) + bytes;
+          per_new.(d) <- per_new.(d) + Cache.overlay_new_states cache;
+          per_cache.(d) <- counters :: per_cache.(d);
+          ignore (Cache.absorb (Parser.base_cache p) cache)
+        | Error _ -> ())
+      joined;
+    lo := hi
+  done;
+  let per_domain =
+    Array.init domains (fun d ->
+        {
+          ds_files = per_files.(d);
+          ds_bytes = per_bytes.(d);
+          ds_new_states = per_new.(d);
+          ds_cache = Instr.sum_cache_counters per_cache.(d);
+        })
+  in
+  ( results,
+    {
+      st_domains = domains;
+      st_rounds = !rounds;
+      st_files = n;
+      st_bytes = Array.fold_left (fun a b -> a + b) 0 per_bytes;
+      st_states_before = states_before;
+      st_states_after = Cache.num_states (Parser.base_cache p);
+      st_per_domain = per_domain;
+    } )

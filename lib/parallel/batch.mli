@@ -1,0 +1,65 @@
+(** Domain-pool batch parsing: shard a corpus of inputs across OCaml 5
+    domains, each parsing with the existing zero-copy buffer pipeline.
+
+    The engine's contract (DESIGN.md §9):
+
+    - Everything the parse path reads — grammar tables, analysis,
+      compiled scanners, the frozen DFA snapshot — is published before
+      [Domain.spawn] and never mutated while workers run, so workers
+      share it without locks.
+    - Every worker consults the snapshot through a private
+      {!Costar_core.Cache.overlay}; what an input teaches lands in the
+      overlay, never in shared state.  The one shared mutable structure,
+      the {!Costar_grammar.Frames} interner, serializes its (slow-path)
+      mutators internally.
+    - Between rounds the overlays are merged into the parser's base cache
+      with {!Costar_core.Cache.absorb} and a fresh snapshot is cut, so
+      warm-up compounds across rounds and leaks back to sequential use of
+      the same parser.
+    - Cache contents never influence parse results, only speed, so a batch
+      run is result-identical to parsing the corpus sequentially — the
+      differential property pinned by [test/test_parallel.ml]. *)
+
+open Costar_grammar
+
+(** Per-worker accounting, indexed by domain.  [cache] holds the DFA
+    counters ({!Costar_core.Instr.cache_counters}) summed over the worker's
+    rounds — populated only while [Instr.enabled] is set, zero otherwise. *)
+type domain_stats = {
+  ds_files : int;
+  ds_bytes : int;
+  ds_new_states : int;  (** DFA states this worker interned past the snapshots *)
+  ds_cache : Costar_core.Instr.cache_counters;
+}
+
+type stats = {
+  st_domains : int;
+  st_rounds : int;
+  st_files : int;
+  st_bytes : int;
+  st_states_before : int;  (** base-cache states before the batch *)
+  st_states_after : int;  (** after all overlays were absorbed *)
+  st_per_domain : domain_stats array;
+}
+
+(** [run_batch p ~tokenize inputs] parses every input and returns one
+    verdict per input, in order: [Ok r] the parser's verdict, [Error msg] a
+    tokenizer failure.  [tokenize] must be safe to call concurrently from
+    several domains once it has been called once — true of
+    [Lang.tokenize_buf] (the compiled-scanner lazy is forced by the
+    engine's warm-up call on the spawning domain; after that the scanner is
+    read-only).
+
+    [domains] defaults to [Domain.recommended_domain_count ()]; workers are
+    always spawned, even for [domains = 1], so counters and domain-local
+    state behave uniformly.  [round_size] (default: the whole corpus)
+    bounds the number of files handed out per round; between rounds the
+    worker overlays are absorbed into [Parser.base_cache p] and a fresh
+    snapshot is frozen, so later rounds start warmer. *)
+val run_batch :
+  ?domains:int ->
+  ?round_size:int ->
+  Costar_core.Parser.t ->
+  tokenize:(string -> (Word.t, string) result) ->
+  string array ->
+  (Costar_core.Parser.result, string) result array * stats

@@ -242,6 +242,75 @@ let test_wrong_suffix_table_rejected () =
     check "digest mismatch reported" true
       (contains ~affix:"suffix table" msg)
 
+(* Loader hardening: whatever bytes we feed the v2 loader — truncations of
+   a valid file at every prefix length, bit flips in the header, garbage
+   payloads — it must return a typed [Error], never let an exception
+   escape, and never accept a damaged file as [Ok]. *)
+let test_truncated_cache_fails_cleanly () =
+  let g = fig2 in
+  let p = Parser.make g in
+  let anl = Parser.analysis p in
+  let fp = Grammar.fingerprint g in
+  let cache =
+    List.fold_left
+      (fun cache w -> snd (Parser.run_with_cache p cache (Grammar.tokens g w)))
+      (Cache.create anl)
+      [ [ "a"; "a"; "b"; "c" ]; [ "b"; "d" ] ]
+  in
+  let blob = Cache.precompile ~fingerprint:fp cache in
+  for len = 0 to String.length blob - 1 do
+    let truncated = String.sub blob 0 len in
+    match Cache.of_precompiled ~anl ~fingerprint:fp truncated with
+    | Ok _ -> Alcotest.failf "truncation to %d bytes accepted" len
+    | Error msg -> check "error is non-empty" true (String.length msg > 0)
+    | exception e ->
+      Alcotest.failf "truncation to %d bytes escaped with %s" len
+        (Printexc.to_string e)
+  done
+
+let test_header_fuzz_fails_cleanly () =
+  let g = fig2 in
+  let anl = Analysis.make g in
+  let fp = Grammar.fingerprint g in
+  let blob = Cache.precompile ~fingerprint:fp (Cache.create anl) in
+  let header_len =
+    (* End of the fourth header line: the start of the marshalled payload. *)
+    let rec nth_nl i = function
+      | 0 -> i
+      | k -> nth_nl (String.index_from blob i '\n' + 1) (k - 1)
+    in
+    nth_nl 0 4
+  in
+  let rand = Random.State.make [| 0x5eed |] in
+  let try_load s =
+    match Cache.of_precompiled ~anl ~fingerprint:fp s with
+    | Error msg -> check "error is non-empty" true (String.length msg > 0)
+    | Ok _ ->
+      (* Only acceptable if the fuzz happened to leave the bytes intact. *)
+      check "accepted only when unchanged" true (String.equal s blob)
+    | exception e ->
+      Alcotest.failf "fuzzed header escaped with %s" (Printexc.to_string e)
+  in
+  (* Single-byte corruptions across the whole header. *)
+  for i = 0 to header_len - 1 do
+    let b = Bytes.of_string blob in
+    Bytes.set b i (Char.chr (Random.State.int rand 256));
+    try_load (Bytes.to_string b)
+  done;
+  (* Random garbage payloads behind a pristine header. *)
+  for _ = 1 to 50 do
+    let n = Random.State.int rand 200 in
+    let junk =
+      String.init n (fun _ -> Char.chr (Random.State.int rand 256))
+    in
+    try_load (String.sub blob 0 header_len ^ junk)
+  done;
+  (* Pathological shapes. *)
+  List.iter try_load
+    [ ""; "\n"; "costar/sll-dfa"; "costar/sll-dfa\n"; "costar/sll-dfa\n2";
+      "costar/sll-dfa\n2\n" ^ fp; "costar/sll-dfa\n2\n" ^ fp ^ "\n";
+      String.make 4096 '\xff' ]
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -263,6 +332,10 @@ let () =
             test_v2_roundtrip_reinterns_identically;
           Alcotest.test_case "wrong suffix table rejected" `Quick
             test_wrong_suffix_table_rejected;
+          Alcotest.test_case "truncated cache fails cleanly" `Quick
+            test_truncated_cache_fails_cleanly;
+          Alcotest.test_case "header fuzz fails cleanly" `Quick
+            test_header_fuzz_fails_cleanly;
         ] );
       ("differential", props);
     ]

@@ -1,0 +1,357 @@
+(* Theorems-as-tests for the multicore batch engine (DESIGN.md §9).
+
+   The central property is the differential one: because DFA-cache contents
+   never influence parse results, a batch run — any number of domains, any
+   round split, cold or warm snapshot — must be result-identical (verdict,
+   tree, ambiguity flag, error positions) to parsing the corpus
+   sequentially.  Alongside it, the freeze/overlay/absorb round-trip is
+   pinned to produce the very same cache CONTENT as sequential warming, and
+   absorb is checked idempotent and order-independent. *)
+
+open Costar_grammar
+open Costar_core
+module Batch = Costar_parallel.Batch
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Domain counts under test.  CI's parallel-smoke step pins a single count
+   via COSTAR_TEST_DOMAINS (e.g. "2" or "4"); the default exercises the
+   full ladder of the ISSUE's differential property. *)
+let domain_counts =
+  match Sys.getenv_opt "COSTAR_TEST_DOMAINS" with
+  | None | Some "" -> [ 1; 2; 4; 8 ]
+  | Some s ->
+    List.map
+      (fun x ->
+        match int_of_string_opt (String.trim x) with
+        | Some d when d >= 1 -> d
+        | _ -> failwith ("COSTAR_TEST_DOMAINS: bad count " ^ x))
+      (String.split_on_char ',' s)
+
+let same_result r1 r2 =
+  match r1, r2 with
+  | Parser.Unique t1, Parser.Unique t2 -> Tree.equal t1 t2
+  | Parser.Ambig t1, Parser.Ambig t2 -> Tree.equal t1 t2
+  | Parser.Reject m1, Parser.Reject m2 -> String.equal m1 m2
+  | Parser.Error e1, Parser.Error e2 -> e1 = e2
+  | _ -> false
+
+let pp_outcome g ppf = function
+  | Ok r -> Parser.pp_result g ppf r
+  | Error msg -> Fmt.pf ppf "Lex_error (%s)" msg
+
+let same_outcome o1 o2 =
+  match o1, o2 with
+  | Ok r1, Ok r2 -> same_result r1 r2
+  | Error m1, Error m2 -> String.equal m1 m2
+  | _ -> false
+
+(* --- language corpora ---------------------------------------------------- *)
+
+let langs = Costar_langs.[ Json.lang; Xml.lang; Dot.lang; Minipy.lang ]
+
+(* A corpus that exercises every outcome: well-formed files of several
+   sizes, a truncated file (syntax error or lex error at a real position),
+   and a file with a byte no lexer accepts. *)
+let corpus_for l =
+  let gen seed size = Costar_langs.Lang.generate l ~seed ~size in
+  let whole = List.map (fun (s, n) -> gen s n)
+      [ (1, 20); (2, 60); (3, 120); (4, 200); (5, 90); (6, 40); (7, 150); (8, 10) ]
+  in
+  let big = gen 9 160 in
+  let truncated = String.sub big 0 (String.length big / 2) in
+  let garbage = gen 10 30 ^ "\x01\x01" in
+  Array.of_list (whole @ [ truncated; garbage ])
+
+let tokenize_of_lang l s =
+  Result.map Word.of_buf (Costar_langs.Lang.tokenize_buf l s)
+
+(* The sequential oracle: one fresh parser, run_buf in corpus order. *)
+let sequential_outcomes l inputs =
+  let p = Parser.make (Costar_langs.Lang.grammar l) in
+  Array.map
+    (fun s ->
+      match tokenize_of_lang l s with
+      | Error msg -> Error msg
+      | Ok w -> Ok (Parser.run_word p w))
+    inputs
+
+let test_batch_differential () =
+  List.iter
+    (fun l ->
+      let name = l.Costar_langs.Lang.name in
+      let g = Costar_langs.Lang.grammar l in
+      let inputs = corpus_for l in
+      let expected = sequential_outcomes l inputs in
+      List.iter
+        (fun d ->
+          (* Cold: a fresh parser whose snapshot holds only the static
+             grammar cache.  Warm: the same parser again, its base cache
+             now holding everything the first batch absorbed. *)
+          let p = Parser.make g in
+          let check_run phase =
+            let results, st =
+              Batch.run_batch ~domains:d p
+                ~tokenize:(tokenize_of_lang l) inputs
+            in
+            check_int
+              (Printf.sprintf "%s %dd %s: result count" name d phase)
+              (Array.length expected) (Array.length results);
+            Array.iteri
+              (fun i r ->
+                if not (same_outcome expected.(i) r) then
+                  Alcotest.failf "%s %dd %s: file %d differs: %a vs %a" name
+                    d phase i (pp_outcome g) expected.(i) (pp_outcome g) r)
+              results;
+            check_int
+              (Printf.sprintf "%s %dd %s: domains spawned" name d phase)
+              d st.Batch.st_domains;
+            check_int
+              (Printf.sprintf "%s %dd %s: files accounted" name d phase)
+              (Array.length inputs)
+              (Array.fold_left
+                 (fun a ds -> a + ds.Batch.ds_files)
+                 0 st.Batch.st_per_domain)
+          in
+          check_run "cold";
+          check_run "warm";
+          (* Multi-round: overlays absorbed between rounds of 3 files. *)
+          let p3 = Parser.make g in
+          let results, st =
+            Batch.run_batch ~domains:d ~round_size:3 p3
+              ~tokenize:(tokenize_of_lang l) inputs
+          in
+          check
+            (Printf.sprintf "%s %dd rounds: round count" name d)
+            true
+            (st.Batch.st_rounds = (Array.length inputs + 2) / 3);
+          Array.iteri
+            (fun i r ->
+              if not (same_outcome expected.(i) r) then
+                Alcotest.failf "%s %dd rounds: file %d differs" name d i)
+            results)
+        domain_counts)
+    langs
+
+(* --- random-grammar differential ----------------------------------------- *)
+
+(* Random grammars parsed through the batch engine: the corpus is several
+   random words of one grammar, the tokenizer maps terminal names.  Two
+   domains and a round split keep the schedule nontrivial without making
+   the property slow. *)
+let arb_grammar_words =
+  let gen =
+    let open QCheck.Gen in
+    Util.gen_grammar >>= fun g ->
+    int_range 2 6 >>= fun n ->
+    list_repeat n (Util.gen_word g) >|= fun ws -> (g, ws)
+  in
+  QCheck.make
+    ~print:(fun (g, ws) ->
+      Fmt.str "@[<v>%a@,words: %s@]" Grammar.pp g
+        (String.concat " | " (List.map (String.concat " ") ws)))
+    gen
+
+let tokenize_names g s =
+  let names = List.filter (fun x -> x <> "") (String.split_on_char ' ' s) in
+  let toks =
+    List.map
+      (fun name ->
+        match Grammar.terminal_of_name g name with
+        | Some a -> Token.make a name
+        | None -> failwith ("not a terminal: " ^ name))
+      names
+  in
+  Ok (Word.of_tokens toks)
+
+let prop_batch_random_grammars =
+  QCheck.Test.make ~count:60
+    ~name:"run_batch = sequential run_word (random grammars, 2 domains)"
+    arb_grammar_words (fun (g, ws) ->
+      match Left_recursion.check g with
+      | Error _ -> true
+      | Ok () ->
+        let inputs = Array.of_list (List.map (String.concat " ") ws) in
+        let pseq = Parser.make g in
+        let expected =
+          Array.map
+            (fun s ->
+              match tokenize_names g s with
+              | Ok w -> Ok (Parser.run_word pseq w)
+              | Error _ -> assert false)
+            inputs
+        in
+        let p = Parser.make g in
+        let results, _ =
+          Batch.run_batch ~domains:2 ~round_size:2 p
+            ~tokenize:(tokenize_names g) inputs
+        in
+        Array.for_all2 (fun a b -> same_outcome a b) expected results)
+
+(* --- frozen-snapshot semantics ------------------------------------------- *)
+
+(* Canonical cache content, independent of state/config id assignment and
+   of which frames interner the cache lives in: states become sorted lists
+   of decoded configurations, transitions and initials refer to states by
+   that decoded value. *)
+type canon_config = int * Symbols.symbol list list * Config.sctx
+
+let canon_state fr (info : Cache.info) : canon_config list =
+  List.sort compare
+    (List.map
+       (fun (c : Config.sll) ->
+         (c.Config.s_pred, Frames.frames_of_spine fr c.Config.s_frames,
+          c.Config.s_ctx))
+       info.Cache.configs)
+
+let canon_of_cache g c =
+  let fr = Cache.frames c in
+  let n = Cache.num_states c in
+  let states = Array.init n (fun sid -> canon_state fr (Cache.info c sid)) in
+  let trans = ref [] in
+  for sid = 0 to n - 1 do
+    for a = 0 to Grammar.num_terminals g - 1 do
+      match Cache.find_trans c sid a with
+      | None -> ()
+      | Some sid' -> trans := (states.(sid), a, states.(sid')) :: !trans
+    done
+  done;
+  let inits = ref [] in
+  for x = 0 to Grammar.num_nonterminals g - 1 do
+    match Cache.find_init c x with
+    | None -> ()
+    | Some sid -> inits := (x, states.(sid)) :: !inits
+  done;
+  ( List.sort compare (Array.to_list states),
+    List.sort compare !trans,
+    List.sort compare !inits )
+
+let warm_sequentially p inputs tokenize =
+  Array.iter
+    (fun s ->
+      match tokenize s with
+      | Ok w -> ignore (Parser.run_word p w)
+      | Error _ -> ())
+    inputs
+
+let test_freeze_absorb_equals_sequential () =
+  List.iter
+    (fun l ->
+      let name = l.Costar_langs.Lang.name in
+      let g = Costar_langs.Lang.grammar l in
+      let inputs = corpus_for l in
+      (* Sequential warming. *)
+      let pseq = Parser.make g in
+      warm_sequentially pseq inputs (tokenize_of_lang l);
+      let seq_canon = canon_of_cache g (Parser.base_cache pseq) in
+      (* Batch warming over the same inputs, several domains + rounds. *)
+      let pbatch = Parser.make g in
+      ignore
+        (Batch.run_batch ~domains:3 ~round_size:4 pbatch
+           ~tokenize:(tokenize_of_lang l) inputs);
+      let batch_canon = canon_of_cache g (Parser.base_cache pbatch) in
+      check
+        (Printf.sprintf "%s: batch cache content = sequential cache content"
+           name)
+        true
+        (seq_canon = batch_canon))
+    [ Costar_langs.Json.lang; Costar_langs.Minipy.lang ]
+
+let test_absorb_idempotent_order_independent () =
+  let l = Costar_langs.Json.lang in
+  let g = Costar_langs.Lang.grammar l in
+  let inputs = corpus_for l in
+  let n = Array.length inputs in
+  let half1 = Array.sub inputs 0 (n / 2) in
+  let half2 = Array.sub inputs (n / 2) (n - n / 2) in
+  let p = Parser.make g in
+  let master = Parser.base_cache p in
+  let fz = Cache.freeze master in
+  let warm_overlay half =
+    let o = Cache.overlay fz in
+    Array.iter
+      (fun s ->
+        match tokenize_of_lang l s with
+        | Ok w -> ignore (Parser.run_with_cache_word p o w)
+        | Error _ -> ())
+      half;
+    o
+  in
+  let o1 = warm_overlay half1 in
+  let o2 = warm_overlay half2 in
+  check "overlays learned something" true
+    (Cache.overlay_new_states o1 > 0 || Cache.num_transitions o1 > 0);
+  (* Overlay reads must see the frozen base: state count includes it. *)
+  check "overlay counts include the snapshot" true
+    (Cache.num_states o1 >= Cache.frozen_num_states fz);
+  (* Idempotence: absorbing the same overlay twice is absorbing it once. *)
+  let m1 = Cache.absorb (Cache.copy master) o1 in
+  let once = canon_of_cache g m1 in
+  let m1 = Cache.absorb m1 o1 in
+  check "absorb idempotent" true (canon_of_cache g m1 = once);
+  (* Order independence (content-level): o1 then o2 = o2 then o1. *)
+  let m12 = Cache.absorb (Cache.absorb (Cache.copy master) o1) o2 in
+  let m21 = Cache.absorb (Cache.absorb (Cache.copy master) o2) o1 in
+  check "absorb order-independent" true
+    (canon_of_cache g m12 = canon_of_cache g m21);
+  (* And both agree with warming the master on everything sequentially. *)
+  let pseq = Parser.make g in
+  warm_sequentially pseq inputs (tokenize_of_lang l);
+  check "absorbed halves = sequential whole" true
+    (canon_of_cache g m12 = canon_of_cache g (Parser.base_cache pseq))
+
+let test_freeze_rejects_overlay () =
+  let l = Costar_langs.Json.lang in
+  let p = Parser.make (Costar_langs.Lang.grammar l) in
+  let fz = Cache.freeze (Parser.base_cache p) in
+  let o = Cache.overlay fz in
+  match Cache.freeze o with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "freeze of an overlay must be rejected"
+
+(* Mutating an overlay never changes what the frozen snapshot answers. *)
+let test_snapshot_immutable_under_overlay_growth () =
+  let l = Costar_langs.Minipy.lang in
+  let g = Costar_langs.Lang.grammar l in
+  let inputs = corpus_for l in
+  let p = Parser.make g in
+  let fz = Cache.freeze (Parser.base_cache p) in
+  let before =
+    (Cache.frozen_num_states fz, Cache.frozen_num_transitions fz)
+  in
+  let o = Cache.overlay fz in
+  Array.iter
+    (fun s ->
+      match tokenize_of_lang l s with
+      | Ok w -> ignore (Parser.run_with_cache_word p o w)
+      | Error _ -> ())
+    inputs;
+  Alcotest.(check (pair int int))
+    "snapshot unchanged" before
+    (Cache.frozen_num_states fz, Cache.frozen_num_transitions fz)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_batch_random_grammars ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "batch = sequential (4 langs, cold+warm+rounds)"
+            `Slow test_batch_differential;
+        ]
+        @ props );
+      ( "snapshot",
+        [
+          Alcotest.test_case "freeze/overlay/absorb = sequential warming"
+            `Slow test_freeze_absorb_equals_sequential;
+          Alcotest.test_case "absorb idempotent and order-independent" `Quick
+            test_absorb_idempotent_order_independent;
+          Alcotest.test_case "freeze rejects overlays" `Quick
+            test_freeze_rejects_overlay;
+          Alcotest.test_case "snapshot immutable under overlay growth" `Quick
+            test_snapshot_immutable_under_overlay_growth;
+        ] );
+    ]
