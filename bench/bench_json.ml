@@ -1,0 +1,72 @@
+(* Machine-readable benchmark output.  Experiments record named float
+   metrics as they print their tables; with `--json-dir DIR` the harness
+   writes one `BENCH_<experiment>.json` file per experiment at the end of
+   the run, e.g.
+
+     { "experiment": "batch",
+       "metrics": { "json.speedup_4d": 2.84, ... } }
+
+   so CI can archive and compare runs without scraping the human tables.
+   Without `--json-dir`, recording is a no-op. *)
+
+let dir : string option ref = ref None
+
+let order : string list ref = ref []
+let store : (string, (string * float) list ref) Hashtbl.t = Hashtbl.create 8
+
+let record ~bench key value =
+  if !dir <> None then begin
+    let row =
+      match Hashtbl.find_opt store bench with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.add store bench r;
+        order := bench :: !order;
+        r
+    in
+    row := (key, value) :: !row
+  end
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %h/%e style floats are noisy; a fixed six significant decimals is enough
+   for benchmark metrics and keeps the files diffable. *)
+let float_str v =
+  if Float.is_nan v then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let flush () =
+  match !dir with
+  | None -> ()
+  | Some d ->
+    List.iter
+      (fun bench ->
+        let metrics = List.rev !(Hashtbl.find store bench) in
+        let path = Filename.concat d (Printf.sprintf "BENCH_%s.json" bench) in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc "{\n";
+            Printf.fprintf oc "  \"experiment\": \"%s\",\n" (escape bench);
+            output_string oc "  \"metrics\": {\n";
+            List.iteri
+              (fun i (k, v) ->
+                Printf.fprintf oc "    \"%s\": %s%s\n" (escape k) (float_str v)
+                  (if i = List.length metrics - 1 then "" else ","))
+              metrics;
+            output_string oc "  }\n}\n");
+        Printf.printf "wrote %s\n" path)
+      (List.rev !order)

@@ -32,10 +32,12 @@ type config = {
   trials : int;
   only : string option;
   bechamel : bool;
+  json_dir : string option;
 }
 
 let parse_args () =
   let quick = ref false and trials = ref 5 and only = ref None and bech = ref false in
+  let json_dir = ref None in
   let spec =
     [
       ("--quick", Arg.Set quick, " shrink corpora for a fast smoke run");
@@ -45,12 +47,16 @@ let parse_args () =
         "<exp> run one experiment: \
          fig8|fig9|fig10|fig11|ll1|ablation|earley|lookahead|gss|precache|intern|pipeline|batch" );
       ("--bechamel", Arg.Set bech, " also run Bechamel micro-benchmarks");
+      ( "--json-dir",
+        Arg.String (fun s -> json_dir := Some s),
+        "<dir> also write machine-readable BENCH_<experiment>.json files" );
     ]
   in
   Arg.parse (Arg.align spec)
     (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
     "costar benchmark harness";
-  { quick = !quick; trials = !trials; only = !only; bechamel = !bech }
+  { quick = !quick; trials = !trials; only = !only; bechamel = !bech;
+    json_dir = !json_dir }
 
 let wants cfg name = match cfg.only with None -> true | Some o -> o = name
 
@@ -702,6 +708,10 @@ let intern_bench cfg corpora =
       Printf.printf "%-10s %8d %10.3f %10.3f %13.3f %13.3f\n" lang.Lang.name
         f.n_toks (cold_t *. 1e3) (warm_t *. 1e3) (us_per_tok cold_t)
         (us_per_tok warm_t);
+      Bench_json.record ~bench:"intern"
+        (lang.Lang.name ^ ".cold_us_per_tok") (us_per_tok cold_t);
+      Bench_json.record ~bench:"intern"
+        (lang.Lang.name ^ ".warm_us_per_tok") (us_per_tok warm_t);
       (* One instrumented warm parse: with the DFA fully learned, the hot
          loop should be all transition hits and no closure work. *)
       Costar_core.Instr.reset ();
@@ -762,6 +772,12 @@ let pipeline_bench cfg corpora =
       Printf.printf "%-10s %9d %8d %10.3f %10.3f %9.1f %9.1f %7.2fx\n"
         lang.Lang.name f.bytes f.n_toks (list_t *. 1e3) (buf_t *. 1e3)
         (mb_s list_t) (mb_s buf_t) (list_t /. buf_t);
+      Bench_json.record ~bench:"pipeline"
+        (lang.Lang.name ^ ".list_mb_s") (mb_s list_t);
+      Bench_json.record ~bench:"pipeline"
+        (lang.Lang.name ^ ".buf_mb_s") (mb_s buf_t);
+      Bench_json.record ~bench:"pipeline"
+        (lang.Lang.name ^ ".buf_speedup") (list_t /. buf_t);
       (* Lex-only split, plus the buffer scan's steady-state allocation. *)
       let lex_list_t =
         time_best ~trials (fun () -> Lang.tokenize_exn lang f.src)
@@ -782,7 +798,9 @@ let pipeline_bench cfg corpora =
          buf steady-state %.3f minor words/token\n"
         (float_of_int f.n_toks /. lex_list_t /. 1e6)
         (float_of_int f.n_toks /. lex_buf_t /. 1e6)
-        (lex_list_t /. lex_buf_t) minor_per_tok)
+        (lex_list_t /. lex_buf_t) minor_per_tok;
+      Bench_json.record ~bench:"pipeline"
+        (lang.Lang.name ^ ".buf_minor_words_per_tok") minor_per_tok)
     corpora;
   print_newline ()
 
@@ -866,7 +884,18 @@ let batch_bench cfg =
         (t_at 4 *. 1e3)
         (t_at 8 *. 1e3)
         (float_of_int bytes /. t_at 4 /. 1e6)
-        speedup4)
+        speedup4;
+      Bench_json.record ~bench:"batch"
+        (lang.Lang.name ^ ".seq_ms") (seq_t *. 1e3);
+      List.iter
+        (fun d ->
+          Bench_json.record ~bench:"batch"
+            (Printf.sprintf "%s.speedup_%dd" lang.Lang.name d)
+            (seq_t /. t_at d))
+        domain_counts;
+      Bench_json.record ~bench:"batch"
+        (lang.Lang.name ^ ".mb_s_4d")
+        (float_of_int bytes /. t_at 4 /. 1e6))
     corpora;
   (* Stable machine-readable line for the CI throughput gate. *)
   Printf.printf "E15-gate json 4-domain speedup: %.2fx\n" !json_speedup;
@@ -977,6 +1006,7 @@ let () =
      data points (the parser allocates trees and persistent cache nodes). *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let cfg = parse_args () in
+  Bench_json.dir := cfg.json_dir;
   let corpora = corpora cfg in
   if wants cfg "fig8" then fig8 corpora;
   if wants cfg "fig9" then fig9 cfg corpora;
@@ -992,4 +1022,5 @@ let () =
   if wants cfg "pipeline" then pipeline_bench cfg corpora;
   if wants cfg "batch" then batch_bench cfg;
   if cfg.bechamel then bechamel_run corpora;
+  Bench_json.flush ();
   print_endline "done."

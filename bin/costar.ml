@@ -7,6 +7,7 @@
      costar check  --grammar g.ebnf              static grammar report
      costar lint   --grammar g.ebnf --lexer g.lexer   coded diagnostics
      costar analyze --grammar g.ebnf             static prediction analysis
+     costar tables --lang json -o json.tables    flat FIRST/FOLLOW/decision image
      costar atn    --lang dot --annotate         decision ATN as GraphViz DOT
      costar lex    --lang minipy file.py         print the token stream
      costar gen    --lang xml --size 100         emit a synthetic corpus file
@@ -335,38 +336,63 @@ let lint_input lang grammar start lexer =
   end;
   input
 
+(* Exit-policy arguments shared by lint and analyze (satellite of the
+   dataflow-engine work: one policy, two commands). *)
+let max_warnings_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "max-warnings" ] ~docv:"N"
+        ~doc:"Tolerate up to N warnings before exiting nonzero (default 0).")
+
+let max_severity_arg ~default =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("none", Lint.Gate_none);
+             ("info", Lint.Gate_info);
+             ("warning", Lint.Gate_warning);
+             ("error", Lint.Gate_error);
+           ])
+        default
+    & info [ "max-severity" ] ~docv:"SEV"
+        ~doc:
+          "Most severe diagnostic level tolerated with exit 0: none, info, \
+           warning, or error (error = report-only, never fail).")
+
+let diag_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text, json, or sarif.")
+
+let tool_version = "1.0.0"
+
 let lint_cmd =
-  let format_arg =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
-  in
-  let max_warnings_arg =
-    Arg.(
-      value
-      & opt int 0
-      & info [ "max-warnings" ] ~docv:"N"
-          ~doc:"Tolerate up to N warnings before exiting nonzero (default 0).")
-  in
-  let run lang grammar lexer start format max_warnings =
+  let run lang grammar lexer start format max_severity max_warnings =
     let input = lint_input lang grammar start lexer in
     let diags = Lint.run input in
     (match format with
     | `Text -> print_string (Render.text diags)
-    | `Json -> print_string (Render.json diags));
-    exit (Lint.exit_code ~max_warnings diags)
+    | `Json -> print_string (Render.json diags)
+    | `Sarif -> print_string (Lint.sarif ~tool_version diags));
+    exit (Lint.exit_code ~max_severity ~max_warnings diags)
   in
   let term =
     Term.(
-      const run $ lang_arg $ grammar_arg $ lexer_arg $ start_arg $ format_arg
+      const run $ lang_arg $ grammar_arg $ lexer_arg $ start_arg
+      $ diag_format_arg
+      $ max_severity_arg ~default:Lint.Gate_warning
       $ max_warnings_arg)
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Static analysis with coded, span-carrying diagnostics (grammar \
-          and lexer spec).  Exit code: 0 clean, 1 warnings, 2 errors.")
+          and lexer spec).  Exit code: 0 clean, 1 warnings, 2 errors \
+          (tune with --max-severity/--max-warnings).")
     term
 
 (* The check report is the lint engine plus grammar sizes: same codes, text
@@ -394,12 +420,6 @@ let check_cmd =
 module Analyze_render = Costar_lint.Analyze_render
 
 let analyze_cmd =
-  let format_arg =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
-  in
   let k_arg =
     Arg.(
       value
@@ -418,25 +438,38 @@ let analyze_cmd =
             "Write the prediction-DFA cache built during analysis to FILE, \
              for $(b,costar parse --cache) to warm-start from.")
   in
-  let run lang grammar start format k emit_cache =
+  let run lang grammar start format k emit_cache max_severity max_warnings =
     let g, _ = resolve_source lang grammar start in
     let r = Analyze.analyze ~k g in
+    (* The same A-code diagnostics `costar lint` emits, for the SARIF
+       rendering and the shared exit policy. *)
+    let diags =
+      lazy
+        (List.stable_sort Costar_lint.Diagnostic.compare
+           (Costar_lint.Rules_predict.of_result
+              (Costar_lint.Rules_grammar.make_ctx g)
+              r))
+    in
     (match format with
     | `Text -> print_string (Analyze_render.text r)
-    | `Json -> print_string (Analyze_render.json r));
-    match emit_cache with
+    | `Json -> print_string (Analyze_render.json r)
+    | `Sarif -> print_string (Lint.sarif ~tool_version (Lazy.force diags)));
+    (match emit_cache with
     | None -> ()
     | Some file ->
       Cache.save_precompiled ~fingerprint:(Grammar.fingerprint g)
         r.Analyze.cache file;
       Printf.eprintf "costar: wrote %s (%d DFA states, %d transitions)\n" file
         (Cache.num_states r.Analyze.cache)
-        (Cache.num_transitions r.Analyze.cache)
+        (Cache.num_transitions r.Analyze.cache));
+    exit (Lint.exit_code ~max_severity ~max_warnings (Lazy.force diags))
   in
   let term =
     Term.(
-      const run $ lang_arg $ grammar_arg $ start_arg $ format_arg $ k_arg
-      $ emit_cache_arg)
+      const run $ lang_arg $ grammar_arg $ start_arg $ diag_format_arg $ k_arg
+      $ emit_cache_arg
+      $ max_severity_arg ~default:Lint.Gate_error
+      $ max_warnings_arg)
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -444,7 +477,95 @@ let analyze_cmd =
          "Static prediction analysis: minimal SLL(k) lookahead per decision, \
           colliding alternatives with distinguishing-prefix witnesses, \
           Earley-confirmed ambiguities, and reachability of the LL \
-          fallback.  Optionally emits the precompiled prediction-DFA cache.")
+          fallback.  Optionally emits the precompiled prediction-DFA cache.  \
+          Exits by the shared --max-severity policy over the A-code \
+          diagnostics (default: error, i.e. report-only).")
+    term
+
+(* --- tables ------------------------------------------------------------- *)
+
+module Flow = Costar_flow.Flow
+module Tables = Costar_predict_analysis.Tables
+
+let tables_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the flat tables image to FILE instead of dumping it.")
+  in
+  let verify_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "verify" ] ~docv:"FILE"
+          ~doc:
+            "Differential gate: load FILE, check it round-trips byte-equal, \
+             matches a fresh export bit for bit, and reconstructs decisions \
+             identical to the live analyzer.  Exit 0 iff all hold.")
+  in
+  let k_arg =
+    Arg.(
+      value
+      & opt int Analyze.default_k
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Lookahead bound for the decision analysis (as in analyze).")
+  in
+  let run lang grammar start out verify k =
+    let g, _ = resolve_source lang grammar start in
+    let flow = Flow.make g in
+    let r = Analyze.analyze ~k g in
+    let live = Tables.build g flow r in
+    match verify with
+    | Some file -> (
+      match Tables.load ~expect_fingerprint:(Grammar.fingerprint g) file with
+      | Error e ->
+        Printf.eprintf "costar tables: %s: %s\n" file
+          (Tables.error_to_string e);
+        exit 2
+      | Ok img ->
+        let failures = ref [] in
+        let check what ok = if not ok then failures := what :: !failures in
+        check "image differs from a fresh export"
+          (Tables.encode img = Tables.encode live);
+        check "image does not round-trip byte-equal"
+          (Tables.encode img = read_file file);
+        check "reconstructed decisions differ from the live analyzer"
+          (Tables.same_decisions (Tables.decisions img) r.Analyze.decisions);
+        (match List.rev !failures with
+        | [] ->
+          let n_terms, n_nts, n_prods, n_decisions = Tables.sizes img in
+          Printf.printf
+            "ok: %s matches the live analysis (%d terminals, %d \
+             nonterminals, %d productions, %d decisions)\n"
+            file n_terms n_nts n_prods n_decisions
+        | fs ->
+          List.iter (Printf.eprintf "costar tables: %s: %s\n" file) fs;
+          exit 1))
+    | None -> (
+      match out with
+      | Some file ->
+        Tables.save live file;
+        let n_terms, n_nts, n_prods, n_decisions = Tables.sizes live in
+        Printf.eprintf
+          "costar: wrote %s (%d terminals, %d nonterminals, %d productions, \
+           %d decisions)\n"
+          file n_terms n_nts n_prods n_decisions
+      | None -> print_string (Tables.dump g live))
+  in
+  let term =
+    Term.(
+      const run $ lang_arg $ grammar_arg $ start_arg $ out_arg $ verify_arg
+      $ k_arg)
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:
+         "Export the grammar dataflow facts (NULLABLE / FIRST / FOLLOW / \
+          sync sets) and the per-decision SLL verdicts as a fingerprinted \
+          flat int-array image; dump it, or verify an existing image \
+          against the live analyses.")
     term
 
 (* --- atn ---------------------------------------------------------------- *)
@@ -828,6 +949,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            parse_cmd; batch_cmd; check_cmd; lint_cmd; analyze_cmd; atn_cmd;
-            lex_cmd; gen_cmd; sample_cmd;
+            parse_cmd; batch_cmd; check_cmd; lint_cmd; analyze_cmd;
+            tables_cmd; atn_cmd; lex_cmd; gen_cmd; sample_cmd;
           ]))

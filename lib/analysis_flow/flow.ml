@@ -1,0 +1,476 @@
+(* A worklist fixed-point dataflow engine over the interned grammar.
+
+   Where Costar_grammar.Analysis iterates whole-grammar passes until nothing
+   changes (O(passes * grammar)), this engine propagates individual facts
+   along precomputed occurrence edges: each fact (a nonterminal becoming
+   nullable, a terminal entering a FIRST or FOLLOW set) is enqueued once and
+   pushed only to the productions that can consume it.  Two things fall out
+   of the single-discovery discipline:
+
+   - every fact carries a justification recorded at the moment it was first
+     derived, and every justification references only facts discovered
+     strictly earlier — so witness extraction is a simple acyclic walk;
+   - the engine is O(facts * occurrences) rather than O(passes * grammar).
+
+   The computed facts are the classical NULLABLE / FIRST / FOLLOW lattice
+   (Edelmann et al., "LL(1) Parsing with Derivatives and Zippers", give the
+   inductive spec this engine is property-tested against), plus REACHABLE,
+   PRODUCTIVE, and the per-nonterminal sync/anchor sets
+   (FIRST ∪ FOLLOW, the Coco/R-style resynchronization vocabulary) that the
+   planned multi-error recovery engine and the flat-table exporter consume. *)
+
+open Costar_grammar
+open Costar_grammar.Symbols
+
+(* Why a terminal entered FOLLOW(x). *)
+type follow_reason =
+  | F_first of { prod : int; x_pos : int; src_pos : int }
+      (* In production [prod], [x] at [x_pos] is followed (through a
+         nullable gap) by the symbol at [src_pos], which contributes the
+         terminal: directly if it is that terminal, via its FIRST set if it
+         is a nonterminal. *)
+  | F_follow of { prod : int; x_pos : int }
+      (* In production [prod] the suffix after [x_pos] is nullable, so
+         FOLLOW of the production's left-hand side flows into FOLLOW(x). *)
+
+type t = {
+  g : Grammar.t;
+  occs : (int * int) list array;  (* nonterminal -> (prod, pos) occurrences *)
+  nullable : bool array;
+  null_why : int array;  (* justifying production, -1 when not nullable *)
+  first : Bitset.t array;
+  first_why : (int * int) array array;  (* (prod, pos); (-1, -1) if absent *)
+  follow : Bitset.t array;
+  follow_why : follow_reason option array array;
+  follow_end_ : bool array;
+  follow_end_why : (int * int) array;
+      (* (prod, x_pos) inheritance step; (-1, -1) for the start symbol *)
+  reachable_ : bool array;
+  reach_why : (int * int) array;  (* (prod, pos); (-1, -1) for the start *)
+  productive_ : bool array;
+  prod_why : int array;  (* justifying production, -1 when unproductive *)
+  sync_ : Bitset.t array;  (* FIRST ∪ FOLLOW, precomputed *)
+  mutable facts : int;  (* dataflow facts discovered (worklist pushes) *)
+}
+
+(* --- Construction ------------------------------------------------------- *)
+
+let occurrences g =
+  let occs = Array.make (Grammar.num_nonterminals g) [] in
+  Array.iter
+    (fun (p : Grammar.production) ->
+      List.iteri
+        (fun pos -> function
+          | T _ -> ()
+          | NT y -> occs.(y) <- (p.ix, pos) :: occs.(y))
+        p.rhs)
+    (Grammar.prods g);
+  Array.map List.rev occs
+
+(* NULLABLE by counting: each production tracks how many of its right-hand
+   side symbols are not yet known nullable; a terminal anywhere makes the
+   production permanently non-nullable.  A nonterminal is enqueued exactly
+   once, when its count first reaches zero. *)
+let compute_nullable t =
+  let g = t.g in
+  let n_prods = Grammar.num_productions g in
+  let remaining = Array.make n_prods 0 in
+  let dead = Array.make n_prods false in
+  let queue = Queue.create () in
+  let mark x why =
+    if not t.nullable.(x) then begin
+      t.nullable.(x) <- true;
+      t.null_why.(x) <- why;
+      t.facts <- t.facts + 1;
+      Queue.add x queue
+    end
+  in
+  Array.iter
+    (fun (p : Grammar.production) ->
+      List.iter
+        (function
+          | T _ -> dead.(p.ix) <- true
+          | NT _ -> remaining.(p.ix) <- remaining.(p.ix) + 1)
+        p.rhs;
+      if (not dead.(p.ix)) && remaining.(p.ix) = 0 then mark p.lhs p.ix)
+    (Grammar.prods g);
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    List.iter
+      (fun (ix, _) ->
+        if not dead.(ix) then begin
+          remaining.(ix) <- remaining.(ix) - 1;
+          if remaining.(ix) = 0 then mark (Grammar.prod t.g ix).lhs ix
+        end)
+      t.occs.(x)
+  done
+
+(* Occurrences whose production prefix (the symbols strictly before the
+   occurrence) is all nullable: exactly the edges along which FIRST facts
+   propagate from the occurring nonterminal to the production's lhs. *)
+let nullable_prefix_occs t x =
+  List.filter
+    (fun (ix, pos) ->
+      let rec check j = function
+        | [] -> true
+        | _ :: _ when j >= pos -> true
+        | T _ :: _ -> false
+        | NT y :: rest -> t.nullable.(y) && check (j + 1) rest
+      in
+      check 0 (Grammar.prod t.g ix).rhs)
+    t.occs.(x)
+
+let compute_first t =
+  let g = t.g in
+  let queue = Queue.create () in
+  let add x a why =
+    if Bitset.add t.first.(x) a then begin
+      t.first_why.(x).(a) <- why;
+      t.facts <- t.facts + 1;
+      Queue.add (x, a) queue
+    end
+  in
+  (* Base facts: the first terminal behind each production's nullable
+     prefix. *)
+  Array.iter
+    (fun (p : Grammar.production) ->
+      let rec go j = function
+        | [] -> ()
+        | T a :: _ -> add p.lhs a (p.ix, j)
+        | NT y :: rest -> if t.nullable.(y) then go (j + 1) rest
+      in
+      go 0 p.rhs)
+    (Grammar.prods g);
+  (* Propagation: a terminal entering FIRST(y) enters FIRST(lhs) for every
+     occurrence of y behind a nullable prefix. *)
+  let prop = Array.mapi (fun y _ -> nullable_prefix_occs t y) t.occs in
+  while not (Queue.is_empty queue) do
+    let y, a = Queue.pop queue in
+    List.iter
+      (fun (ix, pos) -> add (Grammar.prod g ix).lhs a (ix, pos))
+      prop.(y)
+  done
+
+let compute_follow t =
+  let g = t.g in
+  let queue = Queue.create () in
+  let add x a why =
+    if Bitset.add t.follow.(x) a then begin
+      t.follow_why.(x).(a) <- Some why;
+      t.facts <- t.facts + 1;
+      Queue.add (x, a) queue
+    end
+  in
+  (* Inheritance edges lhs -> x (x occurs with a nullable suffix), shared by
+     the FOLLOW and the end-of-input propagation. *)
+  let inherit_edges = Array.make (Grammar.num_nonterminals g) [] in
+  Array.iter
+    (fun (p : Grammar.production) ->
+      let rhs = Array.of_list p.rhs in
+      let m = Array.length rhs in
+      for pos = 0 to m - 1 do
+        match rhs.(pos) with
+        | T _ -> ()
+        | NT x ->
+          (* Seed from the suffix: FIRST of everything x can see to its
+             right, through nullable gaps. *)
+          let rec go j =
+            if j >= m then
+              inherit_edges.(p.lhs) <- (x, p.ix, pos) :: inherit_edges.(p.lhs)
+            else
+              match rhs.(j) with
+              | T a -> add x a (F_first { prod = p.ix; x_pos = pos; src_pos = j })
+              | NT y ->
+                Bitset.iter
+                  (fun a ->
+                    add x a (F_first { prod = p.ix; x_pos = pos; src_pos = j }))
+                  t.first.(y);
+                if t.nullable.(y) then go (j + 1)
+          in
+          go (pos + 1)
+      done)
+    (Grammar.prods g);
+  let inherit_edges = Array.map List.rev inherit_edges in
+  (* FOLLOW propagation along the inheritance edges. *)
+  while not (Queue.is_empty queue) do
+    let y, a = Queue.pop queue in
+    List.iter
+      (fun (x, ix, pos) -> add x a (F_follow { prod = ix; x_pos = pos }))
+      inherit_edges.(y)
+  done;
+  (* End-of-input flows along exactly the same edges, from the start
+     symbol. *)
+  let end_queue = Queue.create () in
+  let mark_end x why =
+    if not t.follow_end_.(x) then begin
+      t.follow_end_.(x) <- true;
+      t.follow_end_why.(x) <- why;
+      t.facts <- t.facts + 1;
+      Queue.add x end_queue
+    end
+  in
+  mark_end (Grammar.start g) (-1, -1);
+  while not (Queue.is_empty end_queue) do
+    let y = Queue.pop end_queue in
+    List.iter (fun (x, ix, pos) -> mark_end x (ix, pos)) inherit_edges.(y)
+  done
+
+let compute_reachable t =
+  let g = t.g in
+  let queue = Queue.create () in
+  let mark x why =
+    if not t.reachable_.(x) then begin
+      t.reachable_.(x) <- true;
+      t.reach_why.(x) <- why;
+      t.facts <- t.facts + 1;
+      Queue.add x queue
+    end
+  in
+  mark (Grammar.start g) (-1, -1);
+  while not (Queue.is_empty queue) do
+    let y = Queue.pop queue in
+    List.iter
+      (fun ix ->
+        List.iteri
+          (fun pos -> function
+            | T _ -> ()
+            | NT x -> mark x (ix, pos))
+          (Grammar.prod g ix).rhs)
+      (Grammar.prods_of g y)
+  done
+
+(* PRODUCTIVE by counting, like NULLABLE but with terminals trivially
+   satisfied. *)
+let compute_productive t =
+  let g = t.g in
+  let n_prods = Grammar.num_productions g in
+  let remaining = Array.make n_prods 0 in
+  let queue = Queue.create () in
+  let mark x why =
+    if not t.productive_.(x) then begin
+      t.productive_.(x) <- true;
+      t.prod_why.(x) <- why;
+      t.facts <- t.facts + 1;
+      Queue.add x queue
+    end
+  in
+  Array.iter
+    (fun (p : Grammar.production) ->
+      List.iter
+        (function T _ -> () | NT _ -> remaining.(p.ix) <- remaining.(p.ix) + 1)
+        p.rhs;
+      if remaining.(p.ix) = 0 then mark p.lhs p.ix)
+    (Grammar.prods g);
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    List.iter
+      (fun (ix, _) ->
+        remaining.(ix) <- remaining.(ix) - 1;
+        if remaining.(ix) = 0 then mark (Grammar.prod g ix).lhs ix)
+      t.occs.(x)
+  done
+
+let make g =
+  let n_nts = Grammar.num_nonterminals g in
+  let n_terms = Grammar.num_terminals g in
+  let t =
+    {
+      g;
+      occs = occurrences g;
+      nullable = Array.make n_nts false;
+      null_why = Array.make n_nts (-1);
+      first = Array.init n_nts (fun _ -> Bitset.create n_terms);
+      first_why = Array.init n_nts (fun _ -> Array.make n_terms (-1, -1));
+      follow = Array.init n_nts (fun _ -> Bitset.create n_terms);
+      follow_why = Array.init n_nts (fun _ -> Array.make n_terms None);
+      follow_end_ = Array.make n_nts false;
+      follow_end_why = Array.make n_nts (-1, -1);
+      reachable_ = Array.make n_nts false;
+      reach_why = Array.make n_nts (-1, -1);
+      productive_ = Array.make n_nts false;
+      prod_why = Array.make n_nts (-1);
+      sync_ = [||];
+      facts = 0;
+    }
+  in
+  compute_nullable t;
+  compute_first t;
+  compute_follow t;
+  compute_reachable t;
+  compute_productive t;
+  let sync_ =
+    Array.init n_nts (fun x -> Bitset.union t.first.(x) t.follow.(x))
+  in
+  { t with sync_ }
+
+(* --- Accessors ---------------------------------------------------------- *)
+
+let grammar t = t.g
+let nullable t x = t.nullable.(x)
+let first t x = t.first.(x)
+let follow t x = t.follow.(x)
+let follow_end t x = t.follow_end_.(x)
+let sync t x = t.sync_.(x)
+let reachable t x = t.reachable_.(x)
+let productive t x = t.productive_.(x)
+let facts t = t.facts
+
+let first_set t x = Int_set.of_list (Bitset.elements t.first.(x))
+let follow_set t x = Int_set.of_list (Bitset.elements t.follow.(x))
+let sync_set t x = Int_set.of_list (Bitset.elements t.sync_.(x))
+
+let nullable_seq t syms =
+  List.for_all (function T _ -> false | NT x -> t.nullable.(x)) syms
+
+let first_seq t syms =
+  let acc = Bitset.create (Grammar.num_terminals t.g) in
+  let rec go = function
+    | [] -> ()
+    | T a :: _ -> ignore (Bitset.add acc a)
+    | NT x :: rest ->
+      ignore (Bitset.union_into ~into:acc t.first.(x));
+      if t.nullable.(x) then go rest
+  in
+  go syms;
+  acc
+
+(* --- Witness extraction -------------------------------------------------
+
+   Every justification recorded by the worklist references only facts
+   discovered strictly earlier, so each walk below strictly descends in
+   discovery order and terminates. *)
+
+(* Render production [ix] with a bullet in front of the symbol at [pos]
+   (the symbol the justification points at). *)
+let marked_production g ix pos =
+  let p = Grammar.prod g ix in
+  let syms =
+    List.mapi
+      (fun j s ->
+        (if j = pos then "\xe2\x80\xa2" ^ Names.symbol g s
+         else Names.symbol g s))
+      p.rhs
+  in
+  Printf.sprintf "%s -> %s"
+    (Names.nonterminal g p.lhs)
+    (match syms with [] -> "\xce\xb5" | _ -> String.concat " " syms)
+
+(* Productions used to derive epsilon from [x], one per distinct
+   nonterminal of the derivation tree. *)
+let nullable_witness t x =
+  if not t.nullable.(x) then None
+  else begin
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    let rec go x =
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        let ix = t.null_why.(x) in
+        acc := Names.production t.g ix :: !acc;
+        List.iter
+          (function T _ -> assert false | NT y -> go y)
+          (Grammar.prod t.g ix).rhs
+      end
+    in
+    go x;
+    Some (List.rev !acc)
+  end
+
+(* The production chain deriving a word of [x] that starts with [a]: each
+   step is a production with the contributing symbol marked; the walk
+   descends while that symbol is a nonterminal. *)
+let first_witness t x a =
+  if a < 0 || a >= Grammar.num_terminals t.g || not (Bitset.mem t.first.(x) a)
+  then None
+  else begin
+    let rec go x acc =
+      let ix, pos = t.first_why.(x).(a) in
+      let acc = marked_production t.g ix pos :: acc in
+      match List.nth (Grammar.prod t.g ix).rhs pos with
+      | T _ -> List.rev acc
+      | NT y -> go y acc
+    in
+    Some (go x [])
+  end
+
+(* The inheritance chain justifying [a] ∈ FOLLOW([x]): zero or more
+   FOLLOW-of-lhs steps, then the occurrence whose right context contributes
+   [a], then (if that contributor is a nonterminal) its FIRST chain. *)
+let follow_witness t x a =
+  if a < 0 || a >= Grammar.num_terminals t.g || not (Bitset.mem t.follow.(x) a)
+  then None
+  else begin
+    let rec go x acc =
+      match t.follow_why.(x).(a) with
+      | None -> List.rev acc  (* unreachable: facts always carry reasons *)
+      | Some (F_first { prod; x_pos = _; src_pos }) -> (
+        let acc = marked_production t.g prod src_pos :: acc in
+        match List.nth (Grammar.prod t.g prod).rhs src_pos with
+        | T _ -> List.rev acc
+        | NT y ->
+          List.rev_append acc (Option.value ~default:[] (first_witness t y a)))
+      | Some (F_follow { prod; x_pos }) ->
+        go (Grammar.prod t.g prod).lhs (marked_production t.g prod x_pos :: acc)
+    in
+    Some (go x [])
+  end
+
+(* The chain of productions from the start symbol down to an occurrence of
+   [x]. *)
+let reachable_witness t x =
+  if not t.reachable_.(x) then None
+  else begin
+    let rec go x acc =
+      match t.reach_why.(x) with
+      | -1, -1 -> acc
+      | ix, pos -> go (Grammar.prod t.g ix).lhs (marked_production t.g ix pos :: acc)
+    in
+    Some (go x [])
+  end
+
+(* Productions used to derive some terminal word from [x], one per distinct
+   nonterminal (the PRODUCTIVE analogue of [nullable_witness]). *)
+let productive_witness t x =
+  if not t.productive_.(x) then None
+  else begin
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    let rec go x =
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        let ix = t.prod_why.(x) in
+        acc := Names.production t.g ix :: !acc;
+        List.iter
+          (function T _ -> () | NT y -> go y)
+          (Grammar.prod t.g ix).rhs
+      end
+    in
+    go x;
+    Some (List.rev !acc)
+  end
+
+(* A terminal word of [x] beginning with [a], replayed from the FIRST
+   justification chain: nullable prefixes derive ε, the contributing symbol
+   recurses, and everything after it takes its shortest yield.  [None] only
+   when [a] ∉ FIRST([x]). *)
+let first_word t anl x a =
+  if a < 0 || a >= Grammar.num_terminals t.g || not (Bitset.mem t.first.(x) a)
+  then None
+  else begin
+    let ( let* ) = Option.bind in
+    let rec go x =
+      let ix, pos = t.first_why.(x).(a) in
+      let rhs = (Grammar.prod t.g ix).rhs in
+      let suffix = List.filteri (fun j _ -> j > pos) rhs in
+      (* The justification guarantees the prefix before [pos] is nullable
+         (it derives ε in the witness word); the suffix still has to finish
+         the derivation, which is impossible if it is unproductive. *)
+      let* tail = Analysis.min_yield_seq anl suffix in
+      match List.nth rhs pos with
+      | T a' -> Some (a' :: tail)
+      | NT y ->
+        let* front = go y in
+        Some (front @ tail)
+    in
+    go x
+  end

@@ -1,0 +1,83 @@
+(** Worklist fixed-point dataflow over the interned grammar.
+
+    Computes the classical NULLABLE / FIRST / FOLLOW lattice as
+    dense-terminal-id bitsets, plus REACHABLE, PRODUCTIVE, and the
+    per-nonterminal {e sync/anchor} sets (FIRST ∪ FOLLOW — the Coco/R-style
+    resynchronization vocabulary) consumed by the flat-table exporter
+    ({!Costar_predict_analysis.Tables}) and the planned multi-error
+    recovery engine.
+
+    Unlike {!Costar_grammar.Analysis} (whole-grammar passes iterated to a
+    fixed point), facts here propagate individually along precomputed
+    occurrence edges, and each fact records the justification that first
+    derived it.  Justifications only ever reference facts discovered
+    strictly earlier, so every fact can be expanded into a finite witness
+    derivation — the [*_witness] functions below — for explainable
+    diagnostics (the F-codes of {!Costar_lint}).
+
+    The engine is differentially tested against {!Costar_grammar.Analysis}
+    and against brute-force derivation sampling with Earley-confirmed
+    membership (test/test_flow.ml). *)
+
+open Costar_grammar
+open Costar_grammar.Symbols
+
+type t
+
+val make : Grammar.t -> t
+val grammar : t -> Grammar.t
+
+(** {1 Dataflow facts} *)
+
+val nullable : t -> nonterminal -> bool
+val nullable_seq : t -> symbol list -> bool
+
+(** FIRST set over dense terminal ids (do not mutate). *)
+val first : t -> nonterminal -> Bitset.t
+
+(** FIRST of a sentential form (fresh bitset). *)
+val first_seq : t -> symbol list -> Bitset.t
+
+val follow : t -> nonterminal -> Bitset.t
+
+(** Whether end-of-input may follow the nonterminal. *)
+val follow_end : t -> nonterminal -> bool
+
+(** Sync/anchor set: FIRST ∪ FOLLOW.  A recovering parser inside [x] skips
+    input until a member (restart [x] on FIRST, give it up on FOLLOW) —
+    end-of-input is always an implicit anchor. *)
+val sync : t -> nonterminal -> Bitset.t
+
+val reachable : t -> nonterminal -> bool
+val productive : t -> nonterminal -> bool
+
+(** Total dataflow facts discovered (each fact is enqueued exactly once). *)
+val facts : t -> int
+
+(** {!Int_set} views of the bitsets, for differential tests against
+    {!Costar_grammar.Analysis}. *)
+
+val first_set : t -> nonterminal -> Int_set.t
+val follow_set : t -> nonterminal -> Int_set.t
+val sync_set : t -> nonterminal -> Int_set.t
+
+(** {1 Witness derivations}
+
+    Each returns [None] when the fact does not hold; otherwise a list of
+    rendered derivation steps ("lhs -> alpha •sym beta", the bullet marking
+    the symbol the step hinges on), suitable for diagnostic notes. *)
+
+val nullable_witness : t -> nonterminal -> string list option
+val first_witness : t -> nonterminal -> terminal -> string list option
+val follow_witness : t -> nonterminal -> terminal -> string list option
+val reachable_witness : t -> nonterminal -> string list option
+val productive_witness : t -> nonterminal -> string list option
+
+(** [first_word t anl x a] is a terminal word derivable from [x] that
+    begins with [a], replayed from the FIRST justification chain with
+    shortest-yield completions from [anl].  [None] when [a] ∉ FIRST([x]),
+    or when the justification's suffix is unproductive (the prefix fact is
+    real, but no finite word completes it).  Property-tested: the word is
+    Earley-accepted from [x]. *)
+val first_word :
+  t -> Analysis.t -> nonterminal -> terminal -> terminal list option

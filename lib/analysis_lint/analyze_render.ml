@@ -8,7 +8,7 @@ module Cache = Costar_core.Cache
 
 let error_string g = function
   | Types.Left_recursive x ->
-    Printf.sprintf "left recursion on `%s`" (Grammar.nonterminal_name g x)
+    Printf.sprintf "left recursion on `%s`" (Names.nonterminal g x)
   | Types.Invalid_state s -> Printf.sprintf "invalid state: %s" s
 
 let production_string g ix =
@@ -35,7 +35,7 @@ let decision_lines g (d : A.decision) =
     match d.A.error with
     | Some e ->
       Printf.sprintf "  %s: not analyzable (%s)"
-        (Grammar.nonterminal_name g d.A.nt)
+        (Names.nonterminal g d.A.nt)
         (error_string g e)
     | None ->
       let flags =
@@ -44,7 +44,7 @@ let decision_lines g (d : A.decision) =
         @ (if d.A.truncated then [ "state budget hit" ] else [])
       in
       Printf.sprintf "  %s: %s, %d alternatives, %d DFA states%s"
-        (Grammar.nonterminal_name g d.A.nt)
+        (Names.nonterminal g d.A.nt)
         (A.lookahead_to_string d.A.lookahead)
         d.A.n_alts d.A.states
         (match flags with
@@ -60,7 +60,7 @@ let text (r : A.t) =
     Printf.sprintf
       "prediction analysis of `%s`: %d decision point%s (lookahead bound k \
        <= %d)"
-      (Grammar.nonterminal_name g (Grammar.start g))
+      (Names.nonterminal g (Grammar.start g))
       (List.length r.A.decisions)
       (if List.length r.A.decisions = 1 then "" else "s")
       r.A.k_bound
@@ -94,21 +94,21 @@ let json_of_conflict g (c : A.conflict) =
       ( "witness",
         List
           (List.map
-             (fun a -> String (Grammar.terminal_name g a))
+             (fun a -> String (Names.terminal g a))
              c.A.witness) );
       ("at_eof", Bool c.A.at_eof);
       ( "ambiguous_word",
         match c.A.ambiguous_word with
         | None -> Null
         | Some w ->
-          List (List.map (fun a -> String (Grammar.terminal_name g a)) w) );
+          List (List.map (fun a -> String (Names.terminal g a)) w) );
     ]
 
 let json_of_decision g (d : A.decision) =
   let open Json_out in
   Obj
     [
-      ("nonterminal", String (Grammar.nonterminal_name g d.A.nt));
+      ("nonterminal", String (Names.nonterminal g d.A.nt));
       ("alternatives", Int d.A.n_alts);
       ( "lookahead",
         match d.A.error with
@@ -137,7 +137,7 @@ let json (r : A.t) =
            Obj
              [
                ( "start",
-                 String (Grammar.nonterminal_name g (Grammar.start g)) );
+                 String (Names.nonterminal g (Grammar.start g)) );
                ("nonterminals", Int (Grammar.num_nonterminals g));
                ("terminals", Int (Grammar.num_terminals g));
                ("productions", Int (Grammar.num_productions g));

@@ -59,6 +59,21 @@ let registry =
     { code = "A004"; default_severity = D.Info;
       title = "lookahead-depth report: minimal k for SLL(k) decisions \
                needing more than one token" };
+    { code = "F001"; default_severity = D.Warning;
+      title = "unusable alternative: right-hand side contains an \
+               unproductive nonterminal" };
+    { code = "F002"; default_severity = D.Info;
+      title = "nullable symbol shadowed by its right context (extra \
+               lookahead at this site)" };
+    { code = "F003"; default_severity = D.Info;
+      title = "FIRST/FOLLOW overlap on a nullable nonterminal, with \
+               dataflow witness chains" };
+    { code = "F004"; default_severity = D.Error;
+      title = "grammar terminal unproducible by the compiled lexer DFA \
+               (emptiness query)" };
+    { code = "F005"; default_severity = D.Warning;
+      title = "lexer rule's terminal is dead in the grammar (no reachable \
+               production consumes it)" };
   ]
 
 let find_rule code = List.find_opt (fun r -> r.code = code) registry
@@ -122,8 +137,9 @@ let grammar_ctx ?file g (prov : Desugar.provenance) =
 (* --- Entry points ------------------------------------------------------- *)
 
 (* All checks that run over a (desugared or prebuilt) grammar: the hygiene
-   rules plus the prediction-analysis A-codes. *)
-let grammar_rules ctx = Rules_grammar.all ctx @ Rules_predict.all ctx
+   rules, the dataflow F-codes, and the prediction-analysis A-codes. *)
+let grammar_rules ctx =
+  Rules_grammar.all ctx @ Rules_flow.grammar_rules ctx @ Rules_predict.all ctx
 
 (* Lint a prebuilt grammar (no EBNF source, e.g. a built-in language):
    every grammar rule runs, with dummy spans. *)
@@ -186,12 +202,53 @@ let run input =
         (Rules_lexer.make_ctx ?file:input.lexer_file ?grammar:g_and_spans
            ?grammar_file:input.grammar_file rules)
   in
-  List.stable_sort D.compare (grammar_diags @ lexer_diags)
+  (* Cross-layer dataflow checks need both sides. *)
+  let cross_diags =
+    match (input.lexer, g_and_spans) with
+    | Some rules, Some gs ->
+      Rules_flow.cross_layer ?grammar_file:input.grammar_file
+        ?lexer_file:input.lexer_file gs rules
+    | _ -> []
+  in
+  List.stable_sort D.compare (grammar_diags @ lexer_diags @ cross_diags)
+
+(* --- Rendering ---------------------------------------------------------- *)
+
+let sarif ?tool_version ds =
+  Sarif.to_string ?tool_version
+    (List.map (fun r -> (r.code, r.default_severity, r.title)) registry)
+    ds
 
 (* --- Exit-code policy --------------------------------------------------- *)
 
-(* 0 = clean, 1 = more warnings than allowed (default: any), 2 = errors.
-   Info diagnostics never affect the exit code. *)
-let exit_code ?(max_warnings = 0) ds =
-  let errors, warnings, _ = Render.summary_counts ds in
-  if errors > 0 then 2 else if warnings > max_warnings then 1 else 0
+(* The severity gate shared by `costar lint` and `costar analyze`
+   (--max-severity): the most severe diagnostic level tolerated with a zero
+   exit.  [Gate_warning] is the historical lint default (errors exit 2,
+   warnings beyond --max-warnings exit 1, info free); [Gate_error] is the
+   historical analyze default (report only, never fail). *)
+type gate = Gate_none | Gate_info | Gate_warning | Gate_error
+
+let gate_of_string = function
+  | "none" -> Some Gate_none
+  | "info" -> Some Gate_info
+  | "warning" -> Some Gate_warning
+  | "error" -> Some Gate_error
+  | _ -> None
+
+let gate_to_string = function
+  | Gate_none -> "none"
+  | Gate_info -> "info"
+  | Gate_warning -> "warning"
+  | Gate_error -> "error"
+
+(* 0 = within the gate, 1 = too many warnings (or any info when the gate is
+   [Gate_none]), 2 = errors. *)
+let exit_code ?(max_severity = Gate_warning) ?(max_warnings = 0) ds =
+  let errors, warnings, infos = Render.summary_counts ds in
+  match max_severity with
+  | Gate_error -> 0
+  | Gate_warning ->
+    if errors > 0 then 2 else if warnings > max_warnings then 1 else 0
+  | Gate_info -> if errors > 0 then 2 else if warnings > 0 then 1 else 0
+  | Gate_none ->
+    if errors > 0 then 2 else if warnings > 0 || infos > 0 then 1 else 0

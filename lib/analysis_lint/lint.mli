@@ -58,7 +58,27 @@ val empty_input : input
     (deterministic, ready for golden tests). *)
 val run : input -> D.t list
 
-(** Exit-code policy of the CLI: [2] if any error, [1] if the warning count
-    exceeds [max_warnings] (default [0]), else [0].  Info diagnostics never
-    affect the exit code. *)
-val exit_code : ?max_warnings:int -> D.t list -> int
+(** {1 Rendering} *)
+
+(** SARIF 2.1.0 document (one run, rules table from {!registry}),
+    deterministic for a given diagnostic list. *)
+val sarif : ?tool_version:string -> D.t list -> string
+
+(** {1 Exit-code policy}
+
+    Shared by [costar lint] and [costar analyze] ([--max-severity],
+    [--max-warnings]). *)
+
+(** The most severe diagnostic level tolerated with a zero exit:
+    [Gate_error] tolerates everything (report-only), [Gate_warning]
+    tolerates warnings up to [max_warnings] (the lint default), [Gate_info]
+    only info, [Gate_none] nothing. *)
+type gate = Gate_none | Gate_info | Gate_warning | Gate_error
+
+val gate_of_string : string -> gate option
+val gate_to_string : gate -> string
+
+(** [2] if errors exceed the gate, [1] if warnings (or, under [Gate_none],
+    info) do, else [0].  [max_warnings] (default [0]) applies only under
+    [Gate_warning]. *)
+val exit_code : ?max_severity:gate -> ?max_warnings:int -> D.t list -> int

@@ -110,10 +110,11 @@ let check_decision ctx (d : A.decision) =
   | _ -> ());
   List.rev !acc
 
-let all (ctx : Rules_grammar.ctx) =
-  let g = ctx.Rules_grammar.g in
+(* Diagnostics from an analyzer result someone else already ran — `costar
+   analyze` reuses its own [A.t] for the shared exit policy instead of
+   analyzing twice. *)
+let of_result (ctx : Rules_grammar.ctx) (r : A.t) =
   let anl = ctx.Rules_grammar.anl in
-  let r = A.analyze ~analysis:anl g in
   List.concat_map
     (fun (d : A.decision) ->
       (* Unreachable decisions are G001's business; decisions poisoned by
@@ -121,3 +122,7 @@ let all (ctx : Rules_grammar.ctx) =
       if d.A.error <> None || not (Analysis.reachable anl d.A.nt) then []
       else check_decision ctx d)
     r.A.decisions
+
+let all (ctx : Rules_grammar.ctx) =
+  let anl = ctx.Rules_grammar.anl in
+  of_result ctx (A.analyze ~analysis:anl ctx.Rules_grammar.g)

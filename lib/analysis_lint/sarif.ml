@@ -1,0 +1,124 @@
+(* SARIF 2.1.0 rendering of lint diagnostics, for CI annotation surfaces
+   (GitHub code scanning et al.).  One run, one driver; the rules table
+   lists exactly the codes that occur in the results, in first-occurrence
+   order, and every result carries a ruleIndex into it.  Severities map
+   Error→"error", Warning→"warning", Info→"note".  Notes are folded into
+   the message text (SARIF has no first-class note list at result level
+   short of relatedLocations, which need locations our notes don't have).
+
+   Output is deterministic for a given diagnostic list — golden-tested like
+   the text and JSON renderers. *)
+
+module D = Diagnostic
+module Loc = Costar_grammar.Loc
+module J = Json_out
+
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+let tool_uri = "https://github.com/costar/costar"
+
+let level_of = function
+  | D.Error -> "error"
+  | D.Warning -> "warning"
+  | D.Info -> "note"
+
+let message_text (d : D.t) =
+  String.concat "\n" (d.D.message :: List.map (fun n -> "note: " ^ n) d.D.notes)
+
+(* SARIF requires 1-based lines/columns; spans from the EBNF parser are
+   already 1-based, and dummy spans (prebuilt grammars) get no region. *)
+let location (d : D.t) =
+  let artifact =
+    match d.D.file with
+    | Some f -> [ ("artifactLocation", J.Obj [ ("uri", J.String f) ]) ]
+    | None -> []
+  in
+  let region =
+    if Loc.is_dummy d.D.span then []
+    else
+      [
+        ( "region",
+          J.Obj
+            [
+              ("startLine", J.Int d.D.span.Loc.start_line);
+              ("startColumn", J.Int d.D.span.Loc.start_col);
+              ("endLine", J.Int d.D.span.Loc.end_line);
+              ("endColumn", J.Int d.D.span.Loc.end_col);
+            ] );
+      ]
+  in
+  match artifact @ region with
+  | [] -> []
+  | fields ->
+    [ ("locations", J.List [ J.Obj [ ("physicalLocation", J.Obj fields) ] ]) ]
+
+let render ?(tool_version = "dev") (registry : (string * D.severity * string) list)
+    (ds : D.t list) =
+  (* Rules table: first-occurrence order of codes in the results. *)
+  let order = ref [] in
+  let index = Hashtbl.create 16 in
+  List.iter
+    (fun (d : D.t) ->
+      if not (Hashtbl.mem index d.D.code) then begin
+        Hashtbl.add index d.D.code (Hashtbl.length index);
+        order := d.D.code :: !order
+      end)
+    ds;
+  let rules =
+    List.rev !order
+    |> List.map (fun code ->
+           let info =
+             List.find_opt (fun (c, _, _) -> c = code) registry
+           in
+           let extra =
+             match info with
+             | Some (_, sev, title) ->
+               [
+                 ("shortDescription", J.Obj [ ("text", J.String title) ]);
+                 ( "defaultConfiguration",
+                   J.Obj [ ("level", J.String (level_of sev)) ] );
+               ]
+             | None -> []
+           in
+           J.Obj (("id", J.String code) :: extra))
+  in
+  let results =
+    List.map
+      (fun (d : D.t) ->
+        J.Obj
+          ([
+             ("ruleId", J.String d.D.code);
+             ("ruleIndex", J.Int (Hashtbl.find index d.D.code));
+             ("level", J.String (level_of d.D.severity));
+             ("message", J.Obj [ ("text", J.String (message_text d)) ]);
+           ]
+          @ location d))
+      ds
+  in
+  J.Obj
+    [
+      ("$schema", J.String schema_uri);
+      ("version", J.String "2.1.0");
+      ( "runs",
+        J.List
+          [
+            J.Obj
+              [
+                ( "tool",
+                  J.Obj
+                    [
+                      ( "driver",
+                        J.Obj
+                          [
+                            ("name", J.String "costar");
+                            ("informationUri", J.String tool_uri);
+                            ("version", J.String tool_version);
+                            ("rules", J.List rules);
+                          ] );
+                    ] );
+                ("results", J.List results);
+              ];
+          ] );
+    ]
+
+let to_string ?tool_version registry ds =
+  J.to_string (render ?tool_version registry ds) ^ "\n"

@@ -48,9 +48,7 @@ let lookahead_to_string = function
   | Cyclic -> "unbounded (undecided DFA cycle)"
   | Ambiguous -> "ambiguous"
 
-let witness_string g = function
-  | [] -> "\xce\xb5"
-  | w -> String.concat " " (List.map (Grammar.terminal_name g) w)
+let witness_string = Names.terminals
 
 let tokens_of_terms g w =
   List.map (fun a -> Token.make a (Grammar.terminal_name g a)) w

@@ -71,7 +71,7 @@ let pos_msg st =
 
 (* Defensive name lookups for error messages: input tokens may carry
    terminal ids the grammar never interned. *)
-let safe_terminal_name = Grammar.safe_terminal_name
+let safe_terminal_name = Costar_grammar.Names.terminal
 
 let consume env st a suf =
   if st.pos < st.word.Word.len then
@@ -135,7 +135,7 @@ let push env st x suf =
     | Types.Reject_pred ->
       Step_reject
         (Printf.sprintf "no viable alternative for %s %s"
-           (Grammar.safe_nonterminal_name env.g x)
+           (Costar_grammar.Names.nonterminal env.g x)
            (pos_msg st))
     | Types.Error_pred e -> Step_error e
 

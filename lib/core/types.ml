@@ -32,4 +32,4 @@ let error_to_string g = function
     (* [x] may come from deserialized data (e.g. a memoized closure error in
        a precompiled cache), so the lookup must not trust its range. *)
     "left-recursive nonterminal "
-    ^ Costar_grammar.Grammar.safe_nonterminal_name g x
+    ^ Costar_grammar.Names.nonterminal g x

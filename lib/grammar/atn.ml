@@ -99,7 +99,7 @@ let to_dot ?decision_label t =
   Buffer.add_string buf "digraph atn {\n  rankdir=LR;\n  node [shape=circle];\n";
   for x = 0 to Grammar.num_nonterminals g - 1 do
     let label =
-      let name = Grammar.nonterminal_name g x in
+      let name = Names.nonterminal g x in
       match decision_label with
       | None -> name
       | Some f -> (
@@ -119,8 +119,8 @@ let to_dot ?decision_label t =
           let label, q' =
             match e with
             | On_terminal (a, q') ->
-              (Printf.sprintf "'%s'" (Grammar.terminal_name g a), q')
-            | On_nonterminal (y, q') -> (Grammar.nonterminal_name g y, q')
+              (Printf.sprintf "'%s'" (Names.terminal g a), q')
+            | On_nonterminal (y, q') -> (Names.nonterminal g y, q')
             | Epsilon q' -> ("\xce\xb5", q')
           in
           Buffer.add_string buf

@@ -78,16 +78,6 @@ let num_productions g = Array.length g.prods
 let terminal_name g a = Pool.name g.terms a
 let nonterminal_name g x = Pool.name g.nts x
 
-(* Defensive lookups for error rendering: ids in errors may come from
-   tokens or deserialized data the grammar never interned. *)
-let safe_terminal_name g a =
-  if a >= 0 && a < num_terminals g then terminal_name g a
-  else Printf.sprintf "<unknown terminal %d>" a
-
-let safe_nonterminal_name g x =
-  if x >= 0 && x < num_nonterminals g then nonterminal_name g x
-  else Printf.sprintf "<unknown nonterminal %d>" x
-
 let symbol_name g = function
   | T a -> terminal_name g a
   | NT x -> nonterminal_name g x

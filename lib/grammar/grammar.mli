@@ -66,12 +66,6 @@ val terminal_name : t -> terminal -> string
 val nonterminal_name : t -> nonterminal -> string
 val symbol_name : t -> symbol -> string
 
-(** Bounds-checked name lookups for error messages: out-of-range ids (from
-    foreign tokens or deserialized data) render as ["<unknown … %d>"]
-    instead of raising. *)
-val safe_terminal_name : t -> terminal -> string
-val safe_nonterminal_name : t -> nonterminal -> string
-
 val terminal_of_name : t -> string -> terminal option
 val nonterminal_of_name : t -> string -> nonterminal option
 

@@ -1,0 +1,33 @@
+(* The one bounds-checked name-rendering helper, shared by every output
+   path (machine errors, lint, analyze, atn, table dumps).  Ids reaching a
+   renderer may come from foreign tokens or deserialized table images the
+   grammar never interned, so rendering must never raise. *)
+
+open Symbols
+
+let terminal g a =
+  if a >= 0 && a < Grammar.num_terminals g then Grammar.terminal_name g a
+  else Printf.sprintf "<unknown terminal %d>" a
+
+let nonterminal g x =
+  if x >= 0 && x < Grammar.num_nonterminals g then Grammar.nonterminal_name g x
+  else Printf.sprintf "<unknown nonterminal %d>" x
+
+let symbol g = function
+  | T a -> terminal g a
+  | NT x -> nonterminal g x
+
+(* Terminal words (lookahead witnesses, sync sets, ...) as space-separated
+   names; the empty word renders as epsilon. *)
+let terminals g = function
+  | [] -> "\xce\xb5"
+  | w -> String.concat " " (List.map (terminal g) w)
+
+let production g ix =
+  if ix >= 0 && ix < Grammar.num_productions g then
+    let p = Grammar.prod g ix in
+    Printf.sprintf "%s -> %s" (nonterminal g p.Grammar.lhs)
+      (match p.Grammar.rhs with
+      | [] -> "\xce\xb5"
+      | rhs -> String.concat " " (List.map (symbol g) rhs))
+  else Printf.sprintf "<unknown production %d>" ix

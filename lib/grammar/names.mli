@@ -1,0 +1,20 @@
+(** Bounds-checked name rendering, shared by every output path.
+
+    Ids in errors, diagnostics, and deserialized table images may never have
+    been interned by the grammar at hand; these lookups render out-of-range
+    ids as ["<unknown terminal %d>"] / ["<unknown nonterminal %d>"] instead
+    of raising.  This is the single home of that defensive logic — machine
+    errors, lint, analyze, atn, and the table dumps all render through it. *)
+
+open Symbols
+
+val terminal : Grammar.t -> terminal -> string
+val nonterminal : Grammar.t -> nonterminal -> string
+val symbol : Grammar.t -> symbol -> string
+
+(** Space-separated terminal names; the empty word renders as ["ε"]. *)
+val terminals : Grammar.t -> terminal list -> string
+
+(** [production g ix] renders production [ix] as ["lhs -> rhs"] (["ε"] for
+    an empty right-hand side), or a placeholder if [ix] is out of range. *)
+val production : Grammar.t -> int -> string

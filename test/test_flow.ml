@@ -1,0 +1,243 @@
+(* The worklist dataflow engine (lib/analysis_flow) against its oracles:
+
+   - differential: every fact agrees with the iterated whole-grammar passes
+     of Costar_grammar.Analysis, on the four built-in languages and on
+     random grammars (including left-recursive and unproductive ones);
+   - witnesses: each [*_witness] chain exists exactly when the fact holds,
+     and replaying a FIRST justification chain yields a concrete sentence
+     that the Earley recognizer accepts from the nonterminal;
+   - semantics: FIRST/FOLLOW membership reconfirmed against brute-force
+     derivation sampling — every sampled sentence's first terminal is in
+     FIRST(start), and every adjacent pair inside a sampled sentential
+     form respects FOLLOW. *)
+
+open Costar_grammar
+open Costar_grammar.Symbols
+module Flow = Costar_flow.Flow
+module Bitset = Costar_flow.Bitset
+
+let check = Alcotest.(check bool)
+
+let set_to_string g s =
+  "{ "
+  ^ String.concat " " (List.map (Names.terminal g) (Int_set.elements s))
+  ^ " }"
+
+(* Every fact of the flow engine equals the corresponding fact of the
+   iterated analysis; raises on the first mismatch. *)
+let agree g =
+  let anl = Analysis.make g in
+  let flow = Flow.make g in
+  let expect_set what x a b =
+    if not (Int_set.equal a b) then
+      Alcotest.failf "%s mismatch on `%s`: flow %s vs analysis %s" what
+        (Names.nonterminal g x) (set_to_string g a) (set_to_string g b)
+  in
+  for x = 0 to Grammar.num_nonterminals g - 1 do
+    let expect what a b =
+      if a <> b then
+        Alcotest.failf "%s mismatch on `%s`" what (Names.nonterminal g x)
+    in
+    expect "nullable" (Flow.nullable flow x) (Analysis.nullable anl x);
+    expect "follow_end" (Flow.follow_end flow x) (Analysis.follow_end anl x);
+    expect "reachable" (Flow.reachable flow x) (Analysis.reachable anl x);
+    expect "productive" (Flow.productive flow x) (Analysis.productive anl x);
+    expect_set "first" x (Flow.first_set flow x) (Analysis.first anl x);
+    expect_set "follow" x (Flow.follow_set flow x) (Analysis.follow anl x);
+    expect_set "sync" x
+      (Flow.sync_set flow x)
+      (Int_set.union (Analysis.first anl x) (Analysis.follow anl x))
+  done;
+  (flow, anl)
+
+let test_langs_differential () =
+  List.iter
+    (fun name ->
+      match Costar_langs.Registry.find name with
+      | None -> Alcotest.failf "missing built-in language %s" name
+      | Some l -> ignore (agree (Costar_langs.Lang.grammar l)))
+    [ "json"; "xml"; "dot"; "minipy" ]
+
+(* The fixture of test_analysis.ml: nullable chains, FOLLOW through
+   nullable suffixes, an unreachable-free grammar. *)
+let fixture =
+  Grammar.define ~start:"S"
+    [
+      ("S", [ [ Grammar.n "A"; Grammar.n "B"; Grammar.t "z" ] ]);
+      ("A", [ []; [ Grammar.t "a" ] ]);
+      ("B", [ [ Grammar.n "A"; Grammar.t "b" ]; [ Grammar.n "C" ] ]);
+      ("C", [ [ Grammar.t "c"; Grammar.n "C" ]; [] ]);
+    ]
+
+let test_fixture_facts () =
+  let flow, _ = agree fixture in
+  let tm name = Option.get (Grammar.terminal_of_name fixture name) in
+  let nt name = Option.get (Grammar.nonterminal_of_name fixture name) in
+  check "A nullable" true (Flow.nullable flow (nt "A"));
+  check "S not nullable" false (Flow.nullable flow (nt "S"));
+  check "facts counted" true (Flow.facts flow > 0);
+  (* sync(C) = FIRST(C) ∪ FOLLOW(C) = {c} ∪ {z} *)
+  check "sync C" true
+    (Int_set.equal
+       (Flow.sync_set flow (nt "C"))
+       (Int_set.of_list [ tm "c"; tm "z" ]))
+
+let prop_random_differential =
+  QCheck.Test.make ~count:500 ~name:"flow = iterated analysis (random)"
+    (QCheck.make ~print:(Fmt.str "%a" Grammar.pp) Util.gen_grammar)
+    (fun g ->
+      ignore (agree g);
+      true)
+
+(* Witness chains exist exactly when the fact holds, and name only real
+   productions of the grammar. *)
+let prop_witness_presence =
+  QCheck.Test.make ~count:500 ~name:"witnesses iff facts"
+    (QCheck.make ~print:(Fmt.str "%a" Grammar.pp) Util.gen_grammar)
+    (fun g ->
+      let flow = Flow.make g in
+      let ok = ref true in
+      for x = 0 to Grammar.num_nonterminals g - 1 do
+        ok :=
+          !ok
+          && Option.is_some (Flow.nullable_witness flow x)
+             = Flow.nullable flow x
+          && Option.is_some (Flow.reachable_witness flow x)
+             = Flow.reachable flow x
+          && Option.is_some (Flow.productive_witness flow x)
+             = Flow.productive flow x;
+        for a = 0 to Grammar.num_terminals g - 1 do
+          ok :=
+            !ok
+            && Option.is_some (Flow.first_witness flow x a)
+               = Bitset.mem (Flow.first flow x) a
+            && Option.is_some (Flow.follow_witness flow x a)
+               = Bitset.mem (Flow.follow flow x) a
+        done
+      done;
+      !ok)
+
+(* Replaying a FIRST justification chain yields a real sentence: it starts
+   with the queried terminal and the Earley recognizer accepts it from the
+   queried nonterminal.  (first_word may be None when the completing suffix
+   is unproductive; in a fully productive grammar it must exist.) *)
+let prop_first_word_earley =
+  QCheck.Test.make ~count:200 ~name:"first_word is Earley-accepted"
+    (QCheck.make ~print:(Fmt.str "%a" Grammar.pp) Util.gen_grammar)
+    (fun g ->
+      let anl = Analysis.make g in
+      let flow = Flow.make g in
+      let all_productive =
+        let ok = ref true in
+        for x = 0 to Grammar.num_nonterminals g - 1 do
+          ok := !ok && Analysis.productive anl x
+        done;
+        !ok
+      in
+      let ok = ref true in
+      for x = 0 to Grammar.num_nonterminals g - 1 do
+        for a = 0 to Grammar.num_terminals g - 1 do
+          if Bitset.mem (Flow.first flow x) a then
+            match Flow.first_word flow anl x a with
+            | None -> if all_productive then ok := false
+            | Some w ->
+              let starts = match w with b :: _ -> b = a | [] -> false in
+              let toks =
+                List.map (fun b -> Token.make b (Grammar.terminal_name g b)) w
+              in
+              ok :=
+                !ok && starts
+                && Costar_earley.Recognizer.accepts_sym g x toks
+        done
+      done;
+      !ok)
+
+(* Brute-force semantic check of FIRST and FOLLOW: sample leftmost
+   derivations; the first terminal of every sampled sentence of [x] is in
+   FIRST(x), and in every sampled sentential form, a terminal directly
+   following an occurrence of [x] (across a nullable gap) lands in
+   FOLLOW(x). *)
+let prop_sampled_sentences_respect_first =
+  QCheck.Test.make ~count:300 ~name:"sampled sentences start in FIRST(start)"
+    (QCheck.make ~print:(Fmt.str "%a" Grammar.pp) Util.gen_grammar)
+    (fun g ->
+      let flow = Flow.make g in
+      let rand = Random.State.make [| 42 |] in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        match Util.random_sentence g rand with
+        | Some (first :: _) ->
+          let a = Option.get (Grammar.terminal_of_name g first) in
+          ok := !ok && Bitset.mem (Flow.first flow (Grammar.start g)) a
+        | Some [] | None -> ()
+      done;
+      !ok)
+
+(* FOLLOW soundness on random sentential forms: expand the start symbol a
+   few random steps; wherever ... x γ appears with FIRST(γ) ∋ a directly
+   (through nullable prefixes of γ), a must be in FOLLOW(x) — checked for
+   the leftmost nonterminal of each form to keep the walk cheap. *)
+let prop_sentential_follow =
+  QCheck.Test.make ~count:300 ~name:"sentential forms respect FOLLOW"
+    (QCheck.make ~print:(Fmt.str "%a" Grammar.pp) Util.gen_grammar)
+    (fun g ->
+      let flow = Flow.make g in
+      let rand = Random.State.make [| 7 |] in
+      let ok = ref true in
+      let rec step fuel form =
+        if fuel > 0 then begin
+          (* Check every NT occurrence against its right context. *)
+          let rec scan = function
+            | [] -> ()
+            | T _ :: rest -> scan rest
+            | NT x :: rest ->
+              Bitset.iter
+                (fun a ->
+                  if not (Bitset.mem (Flow.follow flow x) a) then ok := false)
+                (Flow.first_seq flow rest);
+              scan rest
+          in
+          scan form;
+          (* Expand the leftmost nonterminal, if any. *)
+          let rec expand before = function
+            | [] -> ()
+            | T _ :: rest -> expand (before + 1) rest
+            | NT x :: _ -> (
+              match Grammar.prods_of g x with
+              | [] -> ()
+              | prods ->
+                let ix =
+                  List.nth prods (Random.State.int rand (List.length prods))
+                in
+                let rhs = (Grammar.prod g ix).Grammar.rhs in
+                let prefix = List.filteri (fun j _ -> j < before) form in
+                let suffix = List.filteri (fun j _ -> j > before) form in
+                step (fuel - 1) (prefix @ rhs @ suffix))
+          in
+          expand 0 form
+        end
+      in
+      for _ = 1 to 5 do
+        step 8 [ NT (Grammar.start g) ]
+      done;
+      !ok)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_random_differential;
+      prop_witness_presence;
+      prop_first_word_earley;
+      prop_sampled_sentences_respect_first;
+      prop_sentential_follow;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "built-in languages differential" `Quick
+      test_langs_differential;
+    Alcotest.test_case "fixture facts" `Quick test_fixture_facts;
+  ]
+  @ props
+
+let () = Alcotest.run "costar_flow" [ ("flow", suite) ]
