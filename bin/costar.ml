@@ -12,6 +12,8 @@
      costar lex    --lang minipy file.py         print the token stream
      costar gen    --lang xml --size 100         emit a synthetic corpus file
      costar sample --grammar g.ebnf -n 5         sample sentences
+     costar cover  --lang json --close           decision-coverage report
+     costar cover  --grammar g.ebnf corpus/      coverage residue of a corpus
 
    Grammars are given in the textual EBNF format of Costar_ebnf.Parse. *)
 
@@ -919,25 +921,242 @@ let sample_cmd =
   in
   let run lang grammar start count seed =
     let g, _ = resolve_source lang grammar start in
-    let rand = Random.State.make [| seed |] in
-    let printed = ref 0 in
-    let attempts = ref 0 in
-    while !printed < count && !attempts < count * 100 do
-      incr attempts;
-      match Sample.sentence g rand with
-      | Some w ->
-        incr printed;
-        print_endline (String.concat " " w)
-      | None -> ()
-    done;
-    if !printed < count then
-      prerr_endline "costar sample: grammar yields few short sentences"
+    let rand = Rng.of_seed seed in
+    let anl = Analysis.make g in
+    (* Sampling is total on productive grammars (shortest-derivation
+       fallback), so [count] requests always yield [count] sentences —
+       or a hard error when the start symbol derives no word at all. *)
+    for _ = 1 to count do
+      match Sample.sentence ~analysis:anl g rand with
+      | Some w -> print_endline (String.concat " " w)
+      | None ->
+        prerr_endline
+          "costar sample: the start symbol derives no terminal word";
+        exit 1
+    done
   in
   let term =
     Term.(const run $ lang_arg $ grammar_arg $ start_arg $ count_arg $ seed_arg)
   in
   Cmd.v
     (Cmd.info "sample" ~doc:"Sample random sentences from a grammar.")
+    term
+
+(* --- cover -------------------------------------------------------------- *)
+
+module Cover = Costar_cover.Cover
+module Witness = Costar_cover.Witness
+module Diff = Costar_cover.Diff
+
+let cover_cmd =
+  let corpus_arg =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"CORPUS"
+          ~doc:
+            "Input files or directories to run through the instrumented \
+             pipeline before reporting (the report then shows corpus \
+             residue).")
+  in
+  let close_arg =
+    Arg.(
+      value & flag
+      & info [ "close" ]
+          ~doc:
+            "Generate a witness sentence per uncovered-but-reachable \
+             target and run it, closing the universe.")
+  in
+  let diff_arg =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Differentially check every token sentence (corpus and \
+             generated) across the core, Turbo, and Earley engines, with \
+             the §4 termination-measure and diagnostic-position \
+             obligations.  Any disagreement exits 3.")
+  in
+  (* One coverage line per target kind, fixed field positions so CI can
+     gate with awk: `coverage <kind> <covered>/<coverable> <pct> <dead>`. *)
+  let kind_slug = function
+    | Cover.K_prod -> "productions"
+    | Cover.K_decision -> "decisions"
+    | Cover.K_edge -> "decision-edges"
+    | Cover.K_lex -> "lexer-transitions"
+  in
+  let pct (s : Cover.summary) =
+    if s.Cover.coverable = 0 then 100.0
+    else 100.0 *. float_of_int s.Cover.covered /. float_of_int s.Cover.coverable
+  in
+  let corpus_files paths =
+    List.concat_map
+      (fun path ->
+        if Sys.is_directory path then
+          Sys.readdir path |> Array.to_list |> List.sort compare
+          |> List.filter_map (fun f ->
+                 let p = Filename.concat path f in
+                 if Sys.is_directory p then None else Some p)
+        else [ path ])
+      paths
+  in
+  let run lang grammar lexer start corpus close diff format max_severity
+      max_warnings =
+    let g, l = resolve_source lang grammar start in
+    let scanner =
+      match l, lexer with
+      | Some l, _ -> Costar_langs.Lang.scanner l
+      | None, Some path ->
+        Some (or_die (Costar_lex.Spec.scanner_of_string (read_file path)))
+      | None, None -> None
+    in
+    let t = Cover.make ?scanner g in
+    (* Corpus pass: every input through the instrumented parser (and, at
+       byte level, the lexer replay). *)
+    let corpus_toks =
+      List.map
+        (fun path ->
+          let text = read_file path in
+          let toks = or_die (tokens_of_input ?lexer g l text) in
+          ignore (Cover.mark_tokens t toks);
+          if scanner <> None then ignore (Cover.mark_bytes t text);
+          (path, toks))
+        (corpus_files corpus)
+    in
+    (* Close pass: a generated sentence per remaining uncovered target. *)
+    let generated = if close then Witness.close t else [] in
+    (* Differential pass over everything token-level we ran. *)
+    let diff_failures = ref 0 in
+    let diff_results = ref [] in
+    if diff then begin
+      let turbo = Costar_turbo.Turbo.create g in
+      let check label toks =
+        match Diff.run ~turbo g toks with
+        | Ok () -> ()
+        | Error msg ->
+          incr diff_failures;
+          diff_results := (label, msg) :: !diff_results
+      in
+      List.iter (fun (path, toks) -> check path toks) corpus_toks;
+      List.iter
+        (fun (w : Witness.generated) ->
+          match w.Witness.tokens with
+          | Some terms ->
+            check w.Witness.label (Costar_predict_analysis.Analyze.tokens_of_terms g terms)
+          | None -> ())
+        generated
+    end;
+    let file =
+      match grammar with Some p -> Some p | None -> Option.map (fun _ -> "<builtin>") lang
+    in
+    let diags =
+      List.stable_sort Costar_lint.Diagnostic.compare
+        (Cover.dead_diags ?file t @ Witness.residual_diags ?file t)
+    in
+    let summary = Cover.summary t in
+    (match format with
+    | `Text ->
+      List.iter
+        (fun (k, s) ->
+          Printf.printf "coverage %s %d/%d %.1f %d\n" (kind_slug k)
+            s.Cover.covered s.Cover.coverable (pct s) s.Cover.dead)
+        summary;
+      List.iter
+        (fun (w : Witness.generated) ->
+          Printf.printf "close: %s\n" w.Witness.label;
+          (match w.Witness.tokens with
+          | Some terms ->
+            Printf.printf "  tokens: %s\n"
+              (String.concat " "
+                 (List.map (Names.terminal g) terms))
+          | None -> ());
+          match w.Witness.bytes with
+          | Some b -> Printf.printf "  bytes: %S\n" b
+          | None -> ())
+        generated;
+      if diff then
+        if !diff_failures = 0 then
+          Printf.printf "diff ok %d\n"
+            (List.length corpus_toks
+            + List.length
+                (List.filter (fun w -> w.Witness.tokens <> None) generated))
+        else
+          List.iter
+            (fun (label, msg) -> Printf.printf "diff FAIL %s: %s\n" label msg)
+            (List.rev !diff_results);
+      if diags <> [] then print_newline ();
+      print_string (Render.text diags)
+    | `Json ->
+      let open Costar_lint.Json_out in
+      print_string
+        (to_string
+           (Obj
+              [
+                ("version", Int 1);
+                ( "coverage",
+                  List
+                    (List.map
+                       (fun (k, s) ->
+                         Obj
+                           [
+                             ("kind", String (kind_slug k));
+                             ("covered", Int s.Cover.covered);
+                             ("coverable", Int s.Cover.coverable);
+                             ("dead", Int s.Cover.dead);
+                           ])
+                       summary) );
+                ( "generated",
+                  List
+                    (List.map
+                       (fun (w : Witness.generated) ->
+                         Obj
+                           ([ ("target", String w.Witness.label) ]
+                           @ (match w.Witness.tokens with
+                             | Some terms ->
+                               [
+                                 ( "tokens",
+                                   List
+                                     (List.map
+                                        (fun a -> String (Names.terminal g a))
+                                        terms) );
+                               ]
+                             | None -> [])
+                           @
+                           match w.Witness.bytes with
+                           | Some b -> [ ("bytes", String b) ]
+                           | None -> []))
+                       generated) );
+                ( "diff_failures",
+                  List
+                    (List.map
+                       (fun (label, msg) ->
+                         Obj
+                           [ ("input", String label); ("error", String msg) ])
+                       (List.rev !diff_results)) );
+                ( "diagnostics",
+                  List (List.map Costar_lint.Render.json_of_diag diags) );
+              ])
+        ^ "\n")
+    | `Sarif -> print_string (Lint.sarif ~tool_version diags));
+    if !diff_failures > 0 then exit 3;
+    exit (Lint.exit_code ~max_severity ~max_warnings diags)
+  in
+  let term =
+    Term.(
+      const run $ lang_arg $ grammar_arg $ lexer_arg $ start_arg $ corpus_arg
+      $ close_arg $ diff_arg $ diag_format_arg
+      $ max_severity_arg ~default:Lint.Gate_error
+      $ max_warnings_arg)
+  in
+  Cmd.v
+    (Cmd.info "cover"
+       ~doc:
+         "Decision-coverage analysis: the universe of productions, SLL \
+          decisions, cached-DFA edges, and lexer-class transitions, with \
+          statically dead targets flagged (C001-C004), corpus residue \
+          measured, and --close generating a witness sentence per \
+          uncovered-but-reachable target.  --diff differentially checks \
+          every sentence across the core, Turbo, and Earley engines.")
     term
 
 let () =
@@ -950,5 +1169,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; batch_cmd; check_cmd; lint_cmd; analyze_cmd;
-            tables_cmd; atn_cmd; lex_cmd; gen_cmd; sample_cmd;
+            tables_cmd; atn_cmd; lex_cmd; gen_cmd; sample_cmd; cover_cmd;
           ]))

@@ -1,0 +1,19 @@
+(** Differential fuzz runner: one input through the verified-core parser
+    (reference), the Turbo engine, and the Earley oracle, asserting tree
+    agreement, strict §4-measure decrease, and position-sane rejection
+    diagnostics.  See DESIGN.md §12. *)
+
+open Costar_grammar
+
+(** [Ok ()] when all engines agree and all side obligations hold;
+    [Error msg] is a one-line human-readable violation report.  Pass
+    [turbo] to reuse a cached engine across a corpus. *)
+val run :
+  ?turbo:Costar_turbo.Turbo.t ->
+  Grammar.t ->
+  Token.t list ->
+  (unit, string) result
+
+(** Non-empty and every quoted "line L" within one past the input's last
+    line.  Exposed for tests. *)
+val position_sane : Token.t list -> string -> (unit, string) result

@@ -1,0 +1,52 @@
+(** Witness-directed sentence generation over a coverage universe:
+    Purdom-style shortest-derivation contexts from the useful-reachability
+    chains, with per-target steering (production expansion, decision entry,
+    DFA lookahead prefix, lexer-DFA path).  See DESIGN.md §12. *)
+
+open Costar_grammar.Symbols
+
+(** Terminal (prefix, suffix) context around a usefully reachable
+    nonterminal, every sibling filled with its shortest yield. *)
+val context :
+  Cover.t -> nonterminal -> (terminal list * terminal list) option
+
+(** All candidate contexts: the useful-reachability chain first, then one
+    per direct occurrence under a usefully reachable parent — different
+    occurrences place the hole under different enclosing decisions. *)
+val contexts : Cover.t -> nonterminal -> (terminal list * terminal list) list
+
+(** A complete sentence committing to production [ix]. *)
+val prod_witness : Cover.t -> int -> terminal list option
+
+(** A complete sentence running the decision at [x]. *)
+val decision_witness : Cover.t -> nonterminal -> terminal list option
+
+(** Shortest lookahead word from the decision's initial DFA state to a
+    state, through pending states only. *)
+val edge_prefix : Cover.t -> nonterminal -> int -> terminal list option
+
+(** A sentence whose prediction at the owning decision scans across the
+    cached DFA edge (the parse itself may still reject — scanning the edge
+    is what covers it). *)
+val edge_witness : Cover.t -> int * terminal -> terminal list option
+
+(** A byte string that is one maximal lexeme crossing the lexer-DFA
+    transition. *)
+val lex_witness : Cover.t -> int * int -> string option
+
+type generated = {
+  label : string;  (** the target the sentence was generated for *)
+  tokens : terminal list option;  (** token-level sentence, if any *)
+  bytes : string option;  (** byte-level rendering / raw lexer input *)
+}
+
+(** Generate and run a sentence per uncovered coverable target (coverage is
+    re-checked before each generation, so one sentence covering many
+    targets suppresses later ones).  Token sentences run through the
+    instrumented parser; byte renderings and lexer witnesses through the
+    DFA replay. *)
+val close : Cover.t -> generated list
+
+(** C002/C003/C004 diagnostics for coverable targets still uncovered after
+    {!close}, with witness-chain notes. *)
+val residual_diags : ?file:string -> Cover.t -> Costar_lint.Diagnostic.t list

@@ -428,6 +428,21 @@ let reachable_witness t x =
     Some (go x [])
   end
 
+(* Same chain, unrendered: the raw (production, position) steps from the
+   start symbol down to an occurrence of [x], root first.  This is what the
+   coverage generator replays to build a sentential context around a target
+   (the rendered [reachable_witness] is for humans, this one for tools). *)
+let reachable_chain t x =
+  if x < 0 || x >= Array.length t.reachable_ || not t.reachable_.(x) then None
+  else begin
+    let rec go x acc =
+      match t.reach_why.(x) with
+      | -1, -1 -> acc
+      | ix, pos -> go (Grammar.prod t.g ix).lhs ((ix, pos) :: acc)
+    in
+    Some (go x [])
+  end
+
 (* Productions used to derive some terminal word from [x], one per distinct
    nonterminal (the PRODUCTIVE analogue of [nullable_witness]). *)
 let productive_witness t x =

@@ -73,6 +73,13 @@ val follow_witness : t -> nonterminal -> terminal -> string list option
 val reachable_witness : t -> nonterminal -> string list option
 val productive_witness : t -> nonterminal -> string list option
 
+(** [reachable_chain t x] is the raw justification chain behind
+    {!reachable_witness}: the (production, position) steps from the start
+    symbol down to an occurrence of [x], root first (empty for the start
+    symbol itself).  Tool-facing — the coverage generator replays it to
+    build a sentential context around a target. *)
+val reachable_chain : t -> nonterminal -> (int * int) list option
+
 (** [first_word t anl x a] is a terminal word derivable from [x] that
     begins with [a], replayed from the FIRST justification chain with
     shortest-yield completions from [anl].  [None] when [a] ∉ FIRST([x]),

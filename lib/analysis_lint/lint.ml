@@ -74,6 +74,18 @@ let registry =
     { code = "F005"; default_severity = D.Warning;
       title = "lexer rule's terminal is dead in the grammar (no reachable \
                production consumes it)" };
+    { code = "C001"; default_severity = D.Warning;
+      title = "statically dead production: no successful parse can ever \
+               commit to it (unreachable lhs or unproductive rhs)" };
+    { code = "C002"; default_severity = D.Info;
+      title = "unreachable SLL decision edge: cached lookahead transition \
+               no concrete sentence can drive" };
+    { code = "C003"; default_severity = D.Info;
+      title = "dead lexer-class transition: no accepted lexeme traverses \
+               it (every scan taking it must backtrack or fail)" };
+    { code = "C004"; default_severity = D.Info;
+      title = "ambiguous-only target: every covering sentence is ambiguous \
+               and prediction commits to an earlier alternative" };
   ]
 
 let find_rule code = List.find_opt (fun r -> r.code = code) registry

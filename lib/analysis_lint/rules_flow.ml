@@ -215,7 +215,8 @@ let is_skip (sr : Spec.srule) = sr.Spec.rule.Scanner.action = Scanner.Skip
 
 (* The emptiness query: which rule indexes does the combined scanner DFA
    ever map a word to?  Subset construction only creates reachable states,
-   so scanning the accept table is exact. *)
+   so scanning the accept table is exact.  The DFA is returned too, for the
+   witness-producing notes below. *)
 let live_rule_ixs rules =
   let dfa =
     Costar_lex.Dfa.of_nfa
@@ -228,7 +229,34 @@ let live_rule_ixs rules =
     | Some ix -> Hashtbl.replace live ix ()
     | None -> ()
   done;
-  live
+  (dfa, live)
+
+(* The "nearest non-empty sibling" note: the live non-skip rule closest in
+   rule order to the dead one, with the shortest lexeme the combined DFA
+   actually maps to it ({!Costar_lex.Dfa.rule_witness} — the same DFA
+   inversion the coverage generator uses to produce byte-level inputs).
+   Shows at a glance what the scanner *does* accept around the hole. *)
+let sibling_note dfa indexed ~dead_ix live =
+  let cand =
+    List.filter (fun (ix, sr) -> Hashtbl.mem live ix && not (is_skip sr))
+      indexed
+  in
+  let by_dist =
+    List.sort
+      (fun (i, _) (j, _) ->
+        compare (abs (i - dead_ix), i) (abs (j - dead_ix), j))
+      cand
+  in
+  match by_dist with
+  | [] -> []
+  | (ix, sr) :: _ -> (
+    match Costar_lex.Dfa.rule_witness dfa ix with
+    | Some w ->
+      [
+        Printf.sprintf "nearest non-empty sibling: rule `%s` matches %S"
+          (rule_name sr) w;
+      ]
+    | None -> [])
 
 (* First production mentioning terminal [a], for a grammar-side span. *)
 let use_site g span_of_name a =
@@ -248,7 +276,7 @@ let unproducible_terminal ctx =
   match ctx.rules with
   | [] -> []
   | rules ->
-    let live = live_rule_ixs rules in
+    let dfa, live = live_rule_ixs rules in
     let indexed = List.mapi (fun ix sr -> (ix, sr)) rules in
     let acc = ref [] in
     for a = 0 to Grammar.num_terminals ctx.g - 1 do
@@ -275,25 +303,23 @@ let unproducible_terminal ctx =
             in
             D.make ~severity:D.Error ?file:ctx.grammar_file ~span
               ~notes:
-                [
-                  "no non-skip lexer rule is named after this terminal, so \
-                   the scanner DFA maps no input to it";
-                ]
+                ("no non-skip lexer rule is named after this terminal, so \
+                  the scanner DFA maps no input to it"
+                :: sibling_note dfa indexed ~dead_ix:0 live)
               "F004"
               (Printf.sprintf
                  "terminal '%s' is unproducible: the compiled lexer DFA \
                   accepts no word for it%s"
                  nm where)
-          | (_, sr) :: _ ->
+          | (dead_ix, sr) :: _ ->
             D.make ~severity:D.Error ?file:ctx.lexer_file ~span:sr.Spec.span
               ~notes:
-                [
-                  Printf.sprintf
-                    "rule `%s` exists, but every word it matches is claimed \
-                     by an earlier rule (L002), so no accepting DFA state \
-                     maps to it"
-                    nm;
-                ]
+                (Printf.sprintf
+                   "rule `%s` exists, but every word it matches is claimed \
+                    by an earlier rule (L002), so no accepting DFA state \
+                    maps to it"
+                   nm
+                :: sibling_note dfa indexed ~dead_ix live)
               "F004"
               (Printf.sprintf
                  "terminal '%s' is unproducible: the compiled lexer DFA \

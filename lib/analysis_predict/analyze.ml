@@ -40,6 +40,11 @@ type t = {
 let default_k = 8
 let default_max_states = 4000
 
+(* Per-state configuration bound: dot (the worst of the real grammars)
+   peaks at ~4.4k configs per state, while pathologically ambiguous
+   grammars blow straight past this on the way to millions. *)
+let default_max_configs = 8_000
+
 let ll_fallback_possible d = List.exists (fun c -> c.at_eof) d.conflicts
 
 let lookahead_to_string = function
@@ -85,7 +90,7 @@ type conflict_acc = {
 
 exception Abort of Types.error
 
-let analyze_decision g anl ~k ~max_states ~oracle cache x =
+let analyze_decision g anl ~k ~max_states ~max_configs ~oracle cache x =
   let n_alts = List.length (Grammar.prods_of g x) in
   match Sll.closure_cached_ext g anl cache (Sll.init_configs g anl x) with
   | cache, Error e ->
@@ -151,6 +156,14 @@ let analyze_decision g anl ~k ~max_states ~oracle cache x =
          let info = Cache.info !cache sid in
          match info.Cache.verdict with
          | Cache.V_empty | Cache.V_all_pred _ -> ()
+         | Cache.V_pending
+           when List.length info.Cache.configs > max_configs ->
+           (* Ambiguity can make the simulated-stack set grow exponentially
+              with depth (each config is a distinct derivation prefix).
+              Mining such a state for conflict pairs — let alone expanding
+              it — costs more than the whole rest of the analysis, so give
+              up on this branch exactly like [max_states] does. *)
+           truncated := true
          | Cache.V_pending ->
            if d > !max_pending_depth then max_pending_depth := d;
            let w = path_to sid in
@@ -293,7 +306,7 @@ let analyze_decision g anl ~k ~max_states ~oracle cache x =
       } )
 
 let analyze ?(k = default_k) ?(max_states = default_max_states)
-    ?(oracle = true) ?cache ?analysis g =
+    ?(max_configs = default_max_configs) ?(oracle = true) ?cache ?analysis g =
   (* A supplied cache is bound to the analysis it was created with (its
      frame interner defines the configuration representation), so reuse its
      analysis rather than building a fresh, incompatible one. *)
@@ -309,7 +322,9 @@ let analyze ?(k = default_k) ?(max_states = default_max_states)
   let decisions = ref [] in
   for x = 0 to Grammar.num_nonterminals g - 1 do
     if List.length (Grammar.prods_of g x) >= 2 then begin
-      let cache', d = analyze_decision g anl ~k ~max_states ~oracle !cache x in
+      let cache', d =
+        analyze_decision g anl ~k ~max_states ~max_configs ~oracle !cache x
+      in
       cache := cache';
       decisions := d :: !decisions
     end

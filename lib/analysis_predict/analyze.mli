@@ -97,18 +97,24 @@ type t = {
 
 val default_k : int
 val default_max_states : int
+val default_max_configs : int
 
 (** [analyze g] explores every decision of [g].
 
     [k] bounds the lookahead depth (default {!default_k}); [max_states]
     bounds the states explored per decision (default {!default_max_states});
-    [oracle:false] skips the Earley confirmation of candidate ambiguous
-    words (conflicts are still reported, with [ambiguous_word = None]);
-    [cache] seeds the DFA cache; [analysis] reuses an existing
-    {!Analysis.t} for [g]. *)
+    [max_configs] bounds the configuration-set size a state may have and
+    still be expanded (default {!default_max_configs}) — ambiguous
+    grammars can grow the simulated-stack set exponentially with depth,
+    and a state past this bound is treated as truncation, exactly like
+    [max_states]; [oracle:false] skips the Earley confirmation of
+    candidate ambiguous words (conflicts are still reported, with
+    [ambiguous_word = None]); [cache] seeds the DFA cache; [analysis]
+    reuses an existing {!Analysis.t} for [g]. *)
 val analyze :
   ?k:int ->
   ?max_states:int ->
+  ?max_configs:int ->
   ?oracle:bool ->
   ?cache:Costar_core.Cache.t ->
   ?analysis:Analysis.t ->

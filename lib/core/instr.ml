@@ -15,6 +15,11 @@
 
 let enabled = ref false
 
+(* Decision/production/edge coverage recording (see [cov_*] below) is a
+   separate flag: the coverage driver wants hit counts without paying for
+   the per-decision lookahead histograms, and vice versa. *)
+let cov_enabled = ref false
+
 type counter = {
   mutable calls : int;
   mutable tokens : int;
@@ -31,10 +36,24 @@ type cache_counters = {
   mutable closure_misses : int;
 }
 
+(** Coverage tallies for one domain.  Keys are the dense ids the rest of
+    the system already uses: global production index for [prods], decision
+    nonterminal for [decisions], (DFA state id, terminal id) for [edges].
+    Edge ids only mean something relative to the cache that interned the
+    states, so a coverage run must thread one cache through every parse
+    (the cover driver reuses the static analyzer's cache for exactly this
+    reason). *)
+type cov_counters = {
+  prods : (int, int) Hashtbl.t;
+  decisions : (int, int) Hashtbl.t;
+  edges : (int * int, int) Hashtbl.t;
+}
+
 type state = {
   sll_tbl : (int, counter) Hashtbl.t;
   ll_tbl : (int, counter) Hashtbl.t;
   cache : cache_counters;
+  cov : cov_counters;
 }
 
 let key =
@@ -49,6 +68,12 @@ let key =
             trans_misses = 0;
             closure_hits = 0;
             closure_misses = 0;
+          };
+        cov =
+          {
+            prods = Hashtbl.create 64;
+            decisions = Hashtbl.create 16;
+            edges = Hashtbl.create 64;
           };
       })
 
@@ -93,6 +118,50 @@ let record_closure_miss () =
   if !enabled then
     let c = (state ()).cache in
     c.closure_misses <- c.closure_misses + 1
+
+(* --- Coverage events ----------------------------------------------------- *)
+
+let bump_n tbl k n =
+  match Hashtbl.find_opt tbl k with
+  | Some m -> Hashtbl.replace tbl k (m + n)
+  | None -> Hashtbl.add tbl k n
+
+let bump tbl k = bump_n tbl k 1
+
+(** A production was committed to by the machine (a push). *)
+let record_cov_prod ix = if !cov_enabled then bump (state ()).cov.prods ix
+
+(** A genuine multi-alternative prediction ran for nonterminal [x]. *)
+let record_cov_decision x = if !cov_enabled then bump (state ()).cov.decisions x
+
+(** The prediction DFA took edge [sid --a-->] (whether precomputed or
+    built on the fly). *)
+let record_cov_edge sid a = if !cov_enabled then bump (state ()).cov.edges (sid, a)
+
+(** Snapshots of the calling domain's coverage tallies. *)
+let cov_prod_hits () =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) (state ()).cov.prods []
+
+let cov_decision_hits () =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) (state ()).cov.decisions []
+
+let cov_edge_hits () =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) (state ()).cov.edges []
+
+(** Fold another domain's snapshots into association lists (used by the
+    batch driver to merge worker tallies before reporting). *)
+let merge_hits base extra =
+  let tbl = Hashtbl.create (List.length base + List.length extra) in
+  List.iter (fun (k, n) -> bump_n tbl k n) base;
+  List.iter (fun (k, n) -> bump_n tbl k n) extra;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+
+(** Reset only the coverage tallies of the calling domain. *)
+let cov_reset () =
+  let c = (state ()).cov in
+  Hashtbl.reset c.prods;
+  Hashtbl.reset c.decisions;
+  Hashtbl.reset c.edges
 
 (** Reset the calling domain's counters. *)
 let reset () =

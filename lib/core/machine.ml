@@ -117,6 +117,7 @@ let push env st x suf =
         conts st.word st.pos
     in
     let do_push ix unique =
+      Instr.record_cov_prod ix;
       let gamma = (Grammar.prod env.g ix).rhs in
       Step_cont
         {

@@ -11,6 +11,7 @@ let adaptive_predict_word g anl cache x conts w i =
        (preallocated per production) — this path runs on every push. *)
     (cache, Cache.unique_pred cache ix)
   | _ -> (
+    Instr.record_cov_decision x;
     match Sll.predict_word g anl cache x w i with
     | (_, (Types.Unique_pred _ | Types.Reject_pred | Types.Error_pred _)) as r
       ->

@@ -149,6 +149,7 @@ let rec loop g anl depth cache sid kinds len i =
       | p :: _ -> (cache, Types.Ambig_pred p, depth)
     else begin
       let a = Array.unsafe_get kinds i in
+      Instr.record_cov_edge sid a;
       (* Warm path: a pair of array reads. *)
       let sid' = Cache.trans_get cache sid a in
       if sid' >= 0 then begin
@@ -237,9 +238,11 @@ let rec fast_verdict cache sid kinds len i =
 let predict_cursor g anl cache x kinds len i =
   (* Warm fast path: once the relevant DFA fragment exists, a prediction is
      a chain of array reads ending in a preboxed verdict.  Any miss (or
-     instrumentation, which wants depth counts) falls back to the general
-     loop, which re-walks the short prefix and extends the DFA. *)
-  if !Instr.enabled then predict_general g anl cache x kinds len i
+     instrumentation, which wants depth counts or per-edge coverage) falls
+     back to the general loop, which re-walks the short prefix and extends
+     the DFA. *)
+  if !Instr.enabled || !Instr.cov_enabled then
+    predict_general g anl cache x kinds len i
   else
     let sid0 = Cache.init_get cache x in
     if sid0 < 0 then predict_general g anl cache x kinds len i

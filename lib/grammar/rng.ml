@@ -1,0 +1,26 @@
+(* One seeded-RNG constructor for every deterministic generator in the
+   tree (corpus generators, sentence sampling, coverage-closing witness
+   generation).  Mixing the seed through a splitmix64 step before handing
+   it to [Random.State] keeps nearby seeds (0, 1, 2, ...) from producing
+   correlated low-entropy init vectors. *)
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed seed =
+  let z0 = mix64 (Int64.of_int seed) in
+  let z1 = mix64 (Int64.add z0 0x9e3779b97f4a7c15L) in
+  Random.State.make
+    [|
+      seed;
+      Int64.to_int (Int64.logand z0 0x3fffffffffffffffL);
+      Int64.to_int (Int64.logand z1 0x3fffffffffffffffL);
+    |]
+
+(* Derive an independent stream for subtask [i] of a seeded run (e.g. one
+   stream per coverage target), deterministically. *)
+let split seed i = of_seed (Int64.to_int (mix64 (Int64.of_int (seed + (i * 0x1f123bb5))) ))

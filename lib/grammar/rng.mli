@@ -1,0 +1,12 @@
+(** Seeded-RNG construction shared by every deterministic generator.
+
+    A given seed always yields the same [Random.State.t] stream, so corpus
+    files, sampled sentences, and coverage witnesses are reproducible run
+    to run; the seed is mixed (splitmix64) so consecutive seeds give
+    uncorrelated streams. *)
+
+val of_seed : int -> Random.State.t
+
+(** [split seed i] is an independent stream for subtask [i] of run [seed]
+    (deterministic in both arguments). *)
+val split : int -> int -> Random.State.t

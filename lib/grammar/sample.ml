@@ -1,38 +1,56 @@
 open Symbols
 
-let sentence ?(max_len = 64) ?(fuel = 200) g rand =
-  let fuel = ref fuel in
-  let nt_weight ix =
-    List.length
-      (List.filter
-         (function NT _ -> true | T _ -> false)
-         (Grammar.prod g ix).Grammar.rhs)
-  in
-  let rec go acc len syms =
-    if len > max_len then None
-    else
-      match syms with
-      | [] -> Some (List.rev acc)
-      | T a :: rest -> go (Grammar.terminal_name g a :: acc) (len + 1) rest
-      | NT x :: rest -> (
-        decr fuel;
-        if !fuel <= 0 then None
-        else
-          match Grammar.prods_of g x with
-          | [] -> None
-          | prods ->
-            let pick =
-              if !fuel < 40 then
-                (* Low fuel: steer towards the alternative with the fewest
-                   nonterminals, to converge. *)
-                List.fold_left
-                  (fun best ix -> if nt_weight ix < nt_weight best then ix else best)
-                  (List.hd prods) prods
-              else List.nth prods (Random.State.int rand (List.length prods))
-            in
-            go acc len ((Grammar.prod g pick).Grammar.rhs @ rest))
-  in
-  go [] 0 [ NT (Grammar.start g) ]
+(* Sentence sampling, rebuilt as a Purdom-style generator: random leftmost
+   expansion explores while fuel lasts, restricted to alternatives whose
+   right-hand sides are fully productive, and the moment fuel or the length
+   budget runs out every remaining nonterminal is finished by its shortest
+   derivation ([Analysis.min_yield]).  The old fuel-steered walk returned
+   [None] whenever a deep grammar outlived its fuel; this one is total on
+   productive grammars — [None] survives only for grammars whose start
+   symbol derives no terminal word at all. *)
 
-let tokens ?max_len ?fuel g rand =
-  Option.map (Grammar.tokens g) (sentence ?max_len ?fuel g rand)
+let sentence ?(max_len = 64) ?(fuel = 200) ?analysis g rand =
+  let anl = match analysis with Some a -> a | None -> Analysis.make g in
+  if not (Analysis.productive anl (Grammar.start g)) then None
+  else begin
+    let fuel = ref fuel in
+    (* Alternatives a random walk may take: every nonterminal of the
+       right-hand side must be productive, or the shortest-derivation
+       fallback could strand us on an unfinishable form. *)
+    let viable_prods x =
+      List.filter
+        (fun ix ->
+          List.for_all
+            (function T _ -> true | NT y -> Analysis.productive anl y)
+            (Grammar.prod g ix).Grammar.rhs)
+        (Grammar.prods_of g x)
+    in
+    let shortest x =
+      match Analysis.min_yield anl x with
+      | Some w -> List.map (Grammar.terminal_name g) w
+      | None -> assert false (* walk stays inside the productive fragment *)
+    in
+    let rec go acc len syms =
+      match syms with
+      | [] -> List.rev acc
+      | T a :: rest -> go (Grammar.terminal_name g a :: acc) (len + 1) rest
+      | NT x :: rest ->
+        decr fuel;
+        if !fuel <= 0 || len >= max_len then begin
+          (* Budget exhausted: finish deterministically, shortest-first. *)
+          let w = shortest x in
+          go (List.rev_append w acc) (len + List.length w) rest
+        end
+        else begin
+          match viable_prods x with
+          | [] -> assert false (* x is productive, so a viable alt exists *)
+          | prods ->
+            let pick = List.nth prods (Random.State.int rand (List.length prods)) in
+            go acc len ((Grammar.prod g pick).Grammar.rhs @ rest)
+        end
+    in
+    Some (go [] 0 [ NT (Grammar.start g) ])
+  end
+
+let tokens ?max_len ?fuel ?analysis g rand =
+  Option.map (Grammar.tokens g) (sentence ?max_len ?fuel ?analysis g rand)

@@ -1,18 +1,28 @@
 (** Random sentence sampling from a grammar.
 
-    Used by the test suite's completeness properties, the [costar gen] CLI
-    command, and grammar fuzzing: words drawn from the grammar exercise the
-    parser's accepting paths, which uniformly random words almost never
-    reach. *)
+    Used by the test suite's completeness properties, the [costar sample]
+    CLI command, and grammar fuzzing: words drawn from the grammar exercise
+    the parser's accepting paths, which uniformly random words almost never
+    reach.
 
-(** [sentence ?max_len ?fuel g rand] draws a word of the grammar's start
-    symbol by random leftmost expansion, as terminal names.  Expansion uses
-    [fuel] (default 200) nonterminal expansions before steering towards
-    low-nonterminal alternatives; [None] when fuel or [max_len] (default 64)
-    is exceeded, or when a non-productive nonterminal blocks expansion. *)
+    Sampling is {e total} on productive grammars: random leftmost expansion
+    (restricted to alternatives whose right-hand sides are fully productive)
+    explores while [fuel] lasts, and once fuel or [max_len] is exhausted
+    every remaining nonterminal is finished by its shortest derivation
+    ({!Analysis.min_yield}), Purdom-style.  Determinism comes from the
+    caller's [Random.State.t] — see {!Rng.of_seed}. *)
+
+(** [sentence ?max_len ?fuel ?analysis g rand] draws a word of the
+    grammar's start symbol, as terminal names.  [fuel] (default 200) bounds
+    the random expansions and [max_len] (default 64) the length at which
+    the walk switches to shortest completions (the result may exceed it by
+    the lengths of those completions).  [None] iff the start symbol is
+    unproductive.  Pass [analysis] to reuse an existing {!Analysis.t} for
+    [g] across many draws. *)
 val sentence :
   ?max_len:int ->
   ?fuel:int ->
+  ?analysis:Analysis.t ->
   Grammar.t ->
   Random.State.t ->
   string list option
@@ -22,6 +32,7 @@ val sentence :
 val tokens :
   ?max_len:int ->
   ?fuel:int ->
+  ?analysis:Analysis.t ->
   Grammar.t ->
   Random.State.t ->
   Token.t list option

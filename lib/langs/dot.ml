@@ -153,4 +153,11 @@ let generate ~seed ~size =
   Gen_util.contents st
 
 let lang : Lang.t =
-  { Lang.name = "dot"; grammar; tokenize; tokenize_buf; generate }
+  {
+    Lang.name = "dot";
+    grammar;
+    tokenize;
+    tokenize_buf;
+    generate;
+    scanner = Some scanner;
+  }

@@ -11,7 +11,8 @@ type t = {
 }
 
 let create ~seed ~size =
-  { rand = Random.State.make [| seed |]; buf = Buffer.create (size * 8); budget = size }
+  { rand = Costar_grammar.Rng.of_seed seed;
+    buf = Buffer.create (size * 8); budget = size }
 
 let spend st n = st.budget <- st.budget - n
 let exhausted st = st.budget <= 0

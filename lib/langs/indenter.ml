@@ -141,12 +141,14 @@ let run_buf ids buf =
     at_line_start := false
   in
   let i = ref 0 in
+  let last_stop = ref 0 in
   while !error = None && !i < n do
     let kind = Token_buf.kind buf !i in
     if kind = ids.newline then begin
       if !depth = 0 && !line_has_content then begin
         (* Zero-width, like the list pass's lexeme-erased NEWLINE. *)
         emit_at ids.newline (Token_buf.start_ofs buf !i);
+        last_stop := Token_buf.start_ofs buf !i;
         line_has_content := false;
         at_line_start := true
       end
@@ -158,7 +160,8 @@ let run_buf ids buf =
       else if List.mem kind ids.closer_ids then depth := max 0 (!depth - 1);
       line_has_content := true;
       Token_buf.add out ~kind ~start:(Token_buf.start_ofs buf !i)
-        ~stop:(Token_buf.end_ofs buf !i)
+        ~stop:(Token_buf.end_ofs buf !i);
+      last_stop := Token_buf.end_ofs buf !i
     end;
     incr i
   done;
@@ -166,12 +169,20 @@ let run_buf ids buf =
   | Some msg -> Error msg
   | None ->
     (* End of input: close the open logical line and the indent stack.
-       Anchoring at [String.length input] lands on the line after the
-       final newline (matching the list pass's [last line + 1]) whenever
-       the input ends with one. *)
+       The list pass anchors these at [last emitted token's line + 1], so
+       anchor at the start of the line FOLLOWING the last emitted token —
+       not at [String.length input], which drifts past it when the input
+       ends with blank lines (their newlines are dropped, but they still
+       advance the line count). *)
     let eof = String.length input in
-    if !line_has_content then emit_at ids.newline eof;
+    let anchor =
+      let rec find j =
+        if j >= eof then eof else if input.[j] = '\n' then j + 1 else find (j + 1)
+      in
+      find !last_stop
+    in
+    if !line_has_content then emit_at ids.newline anchor;
     List.iter
-      (fun level -> if level > 0 then emit_at ids.dedent eof)
+      (fun level -> if level > 0 then emit_at ids.dedent anchor)
       !indents;
     Ok out

@@ -123,4 +123,11 @@ let generate ~seed ~size =
   Gen_util.contents st
 
 let lang : Lang.t =
-  { Lang.name = "json"; grammar; tokenize; tokenize_buf; generate }
+  {
+    Lang.name = "json";
+    grammar;
+    tokenize;
+    tokenize_buf;
+    generate;
+    scanner = Some scanner;
+  }

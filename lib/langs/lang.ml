@@ -19,12 +19,18 @@ type t = {
   generate : seed:int -> size:int -> string;
       (** [generate ~seed ~size] produces a source file; [size] roughly
           scales the number of syntactic items. *)
+  scanner : Costar_lex.Scanner.t Lazy.t option;
+      (** The underlying DFA scanner, when the tokenizer is a plain scanner
+          (possibly with post-passes, e.g. Python's indenter — synthesized
+          terminals like INDENT/DEDENT never appear in it).  Coverage
+          tooling uses it to enumerate and invert lexer-DFA transitions. *)
 }
 
 let grammar l = Lazy.force l.grammar
 let tokenize l = l.tokenize
 let tokenize_buf l = l.tokenize_buf
 let generate l = l.generate
+let scanner l = Option.map Lazy.force l.scanner
 
 (** Tokenize, failing loudly — for tests and examples where the input is
     known to be lexable. *)

@@ -368,4 +368,11 @@ let generate ~seed ~size =
   Gen_util.contents st
 
 let lang : Lang.t =
-  { Lang.name = "minipy"; grammar; tokenize; tokenize_buf; generate }
+  {
+    Lang.name = "minipy";
+    grammar;
+    tokenize;
+    tokenize_buf;
+    generate;
+    scanner = Some scanner;
+  }

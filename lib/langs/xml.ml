@@ -127,4 +127,11 @@ let generate ~seed ~size =
   Gen_util.contents st
 
 let lang : Lang.t =
-  { Lang.name = "xml"; grammar; tokenize; tokenize_buf; generate }
+  {
+    Lang.name = "xml";
+    grammar;
+    tokenize;
+    tokenize_buf;
+    generate;
+    scanner = Some scanner;
+  }

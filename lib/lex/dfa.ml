@@ -27,6 +27,128 @@ let next d s c = next_class d s d.classes.(Char.code c)
    for the class-correctness property (next ≡ next_raw on all bytes). *)
 let next_raw d s c = d.trans.(s).(Char.code c)
 
+(* --- Shortest-witness BFS ------------------------------------------------
+
+   Shortest byte strings from the start state, over the class-compressed
+   transition table.  Each class is represented by its most readable byte
+   (letters/digits first, then other printable characters) so witnesses
+   read as plausible lexemes, not control-character soup. *)
+
+let class_reps d =
+  let score c =
+    match Char.chr c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> 3
+    | ' ' -> 2
+    | '!' .. '~' -> 2
+    | _ -> 1
+  in
+  let rep = Array.make d.num_classes (-1) in
+  let best = Array.make d.num_classes (-1) in
+  for c = 0 to 255 do
+    let k = d.classes.(c) in
+    if score c > best.(k) then begin
+      best.(k) <- score c;
+      rep.(k) <- c
+    end
+  done;
+  rep
+
+let witness_table d =
+  let n = num_states d in
+  let rep = class_reps d in
+  let dist = Array.make n (-1) in
+  let back = Array.make n (-1, -1) in  (* predecessor state, class *)
+  let q = Queue.create () in
+  dist.(d.start) <- 0;
+  Queue.add d.start q;
+  while not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    for k = 0 to d.num_classes - 1 do
+      let s' = d.ctrans.((s * d.num_classes) + k) in
+      if s' >= 0 && dist.(s') < 0 then begin
+        dist.(s') <- dist.(s) + 1;
+        back.(s') <- (s, k);
+        Queue.add s' q
+      end
+    done
+  done;
+  Array.init n (fun s ->
+      if dist.(s) < 0 then None
+      else begin
+        let buf = Bytes.create dist.(s) in
+        let rec fill s i =
+          if i >= 0 then begin
+            let p, k = back.(s) in
+            Bytes.set buf i (Char.chr rep.(k));
+            fill p (i - 1)
+          end
+        in
+        fill s (dist.(s) - 1);
+        Some (Bytes.to_string buf)
+      end)
+
+let witness d s =
+  if s < 0 || s >= num_states d then None else (witness_table d).(s)
+
+let class_rep d k =
+  if k < 0 || k >= d.num_classes then '?'
+  else Char.chr (class_reps d).(k)
+
+(* Shortest string from [s] to any accepting state (forward BFS).  [None]
+   when no accepting state is reachable — such a state is "doomed": every
+   scan passing through it must backtrack to an earlier match or fail. *)
+let accept_witness d s =
+  if s < 0 || s >= num_states d then None
+  else begin
+    let n = num_states d in
+    let rep = class_reps d in
+    let dist = Array.make n (-1) in
+    let back = Array.make n (-1, -1) in
+    let q = Queue.create () in
+    dist.(s) <- 0;
+    Queue.add s q;
+    let found = ref (if d.accept_ix.(s) >= 0 then Some s else None) in
+    while !found = None && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let k = ref 0 in
+      while !found = None && !k < d.num_classes do
+        let u' = d.ctrans.((u * d.num_classes) + !k) in
+        if u' >= 0 && dist.(u') < 0 then begin
+          dist.(u') <- dist.(u) + 1;
+          back.(u') <- (u, !k);
+          if d.accept_ix.(u') >= 0 then found := Some u'
+          else Queue.add u' q
+        end;
+        incr k
+      done
+    done;
+    match !found with
+    | None -> None
+    | Some t ->
+      let buf = Bytes.create dist.(t) in
+      let rec fill u i =
+        if i >= 0 then begin
+          let p, k = back.(u) in
+          Bytes.set buf i (Char.chr rep.(k));
+          fill p (i - 1)
+        end
+      in
+      fill t (dist.(t) - 1);
+      Some (Bytes.to_string buf)
+  end
+
+let rule_witness d ix =
+  let table = witness_table d in
+  let best = ref None in
+  for s = 0 to num_states d - 1 do
+    if d.accept_ix.(s) = ix then
+      match table.(s), !best with
+      | Some w, Some b when String.length w >= String.length b -> ()
+      | Some w, _ -> best := Some w
+      | None, _ -> ()
+  done;
+  !best
+
 module Key = struct
   type t = int list
 

@@ -48,3 +48,28 @@ val class_trans : t -> int array
 
 (** [next_class dfa s cls] steps on a precomputed class id. *)
 val next_class : t -> state -> int -> state
+
+(** {2 Shortest witnesses (DFA inversion)}
+
+    BFS over the class transitions, each class rendered by its most
+    readable representative byte.  Shared by the coverage generator (a
+    concrete lexeme per terminal) and the F004 emptiness diagnostics (a
+    "nearest non-empty sibling" example). *)
+
+(** [witness dfa s] is a shortest byte string driving the DFA from its
+    start state to [s]; [None] if [s] is unreachable (or out of range). *)
+val witness : t -> state -> string option
+
+(** [rule_witness dfa ix] is a shortest byte string the combined DFA maps
+    to rule [ix] (first-rule-wins already applied: the accepting state's
+    {!accept_ix} is [ix]); [None] when the rule is dead. *)
+val rule_witness : t -> int -> string option
+
+(** The most readable representative byte of a class ([?] out of range). *)
+val class_rep : t -> int -> char
+
+(** [accept_witness dfa s] is a shortest byte string driving the DFA from
+    [s] to an accepting state ([""] if [s] accepts); [None] when no
+    accepting state is reachable from [s] — every scan passing through [s]
+    must backtrack or fail. *)
+val accept_witness : t -> state -> string option

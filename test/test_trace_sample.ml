@@ -60,12 +60,40 @@ let test_sample_valid () =
   check "produces sentences" true (!produced > 50)
 
 let test_sample_max_len () =
+  (* Sampling is total on productive grammars, and [max_len] caps the
+     random exploration: once the emitted prefix reaches it, every
+     remaining nonterminal finishes by its shortest derivation.  For fig2
+     the pending form is always [A; c|d], so the overshoot is at most 2. *)
   let rand = Random.State.make [| 3 |] in
+  let anl = Analysis.make fig2 in
   for _ = 1 to 100 do
-    match Sample.sentence ~max_len:5 fig2 rand with
-    | Some w -> check "respects max_len" true (List.length w <= 5)
-    | None -> ()
+    match Sample.sentence ~max_len:5 ~analysis:anl fig2 rand with
+    | Some w -> check "max_len bounds exploration" true (List.length w <= 7)
+    | None -> Alcotest.fail "sampling a productive grammar returned None"
   done
+
+let test_sample_total_deep () =
+  (* A grammar whose every sentence has 128 terminals: the old fuel-steered
+     walk hit its length budget and returned None; the shortest-derivation
+     fallback is total. *)
+  let rules =
+    ("D0", [ [ Grammar.t "x" ] ])
+    :: List.init 7 (fun i ->
+           let d k = "D" ^ string_of_int k in
+           (d (i + 1), [ [ Grammar.n (d i); Grammar.n (d i) ] ]))
+  in
+  let g = Grammar.define ~start:"D7" (List.rev rules) in
+  let rand = Rng.of_seed 5 in
+  match Sample.sentence g rand with
+  | None -> Alcotest.fail "deep productive grammar sampled None"
+  | Some w -> check_int "all 128 leaves" 128 (List.length w)
+
+let test_sample_deterministic () =
+  let draw () =
+    let rand = Rng.of_seed 42 in
+    List.init 10 (fun _ -> Sample.sentence fig2 rand)
+  in
+  check "same seed, same sentences" true (draw () = draw ())
 
 let test_sample_nonproductive () =
   let g =
@@ -97,6 +125,10 @@ let suite =
     Alcotest.test_case "reject trace" `Quick test_trace_reject;
     Alcotest.test_case "samples are valid" `Quick test_sample_valid;
     Alcotest.test_case "sample max_len" `Quick test_sample_max_len;
+    Alcotest.test_case "sample total on deep grammars" `Quick
+      test_sample_total_deep;
+    Alcotest.test_case "sample deterministic by seed" `Quick
+      test_sample_deterministic;
     Alcotest.test_case "non-productive grammar" `Quick test_sample_nonproductive;
     QCheck_alcotest.to_alcotest prop_samples_parse;
   ]
