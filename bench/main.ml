@@ -12,6 +12,8 @@
      E13 --only intern    interned prediction hot path: cold vs warm us/token
      E14 --only pipeline  zero-copy token pipeline: list vs buffer MB/s
      E15 --only batch     multicore batch parsing: 1/2/4/8 domains vs sequential
+     E16 --only e16       GC-free data plane: prefork workers over an mmapped
+                          v3 cache image, with minor-allocation fences
 
    With no --only option, all experiments run.  --quick shrinks the corpora
    (used for smoke checks); --bechamel additionally runs one Bechamel
@@ -45,7 +47,7 @@ let parse_args () =
       ( "--only",
         Arg.String (fun s -> only := Some s),
         "<exp> run one experiment: \
-         fig8|fig9|fig10|fig11|ll1|ablation|earley|lookahead|gss|precache|intern|pipeline|batch" );
+         fig8|fig9|fig10|fig11|ll1|ablation|earley|lookahead|gss|precache|intern|pipeline|batch|e16" );
       ("--bechamel", Arg.Set bech, " also run Bechamel micro-benchmarks");
       ( "--json-dir",
         Arg.String (fun s -> json_dir := Some s),
@@ -804,25 +806,203 @@ let pipeline_bench cfg corpora =
     corpora;
   print_newline ()
 
+(* A dedicated, larger corpus for the parallel experiments (E15/E16):
+   scaling is only measurable when per-file parse work dominates the fixed
+   per-worker costs (domain spawn or fork, snapshot freeze, and OCaml 5's
+   cross-domain minor-GC synchronization), so these use files an order of
+   magnitude bigger than the fig9 sweep. *)
+let batch_corpora cfg =
+  let n = if cfg.quick then 12 else 24 in
+  let h x = if cfg.quick then x / 2 else x in
+  [
+    build_corpus Json.lang ~n ~lo:2000 ~hi:(h 40000);
+    build_corpus Xml.lang ~n ~lo:2000 ~hi:(h 20000);
+    build_corpus Dot.lang ~n ~lo:2000 ~hi:(h 12000);
+    build_corpus Minipy.lang ~n:(min n 16) ~lo:1000 ~hi:(h 6000);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E16: GC-free data plane — prefork processes over an mmapped image   *)
+(* ------------------------------------------------------------------ *)
+
+let prefork_bench cfg =
+  (* Unix.fork is only legal while no other domain has ever been spawned
+     in this process, so main () runs E16 before E15's run_batch calls,
+     and inside E16 every fork-based timing completes (pass 1, all
+     languages) before the Domain-based comparison column (pass 2). *)
+  let corpora = batch_corpora cfg in
+  print_endline
+    "== E16: GC-free data plane (prefork worker processes over an mmapped \
+     v3 cache image) ==";
+  print_endline
+    "(corpus family of E15; prediction DFA learned once, frozen to a flat \
+     int32-LE image, served read-only";
+  print_endline
+    " via mmap; seq = warm sequential run_word loop, Np = run_prefork over \
+     N forked workers sharing the";
+  print_endline
+    " mapping; min over samples; per-language allocation fences below \
+     each row)";
+  Printf.printf "%-10s %6s %7s %9s %9s %9s %9s %9s %8s\n" "Benchmark"
+    "files" "MB" "seq(ms)" "1p(ms)" "2p(ms)" "4p(ms)" "MB/s@4p" "x@4p";
+  let worker_counts = [ 1; 2; 4 ] in
+  let json_speedup = ref nan and json_words = ref nan in
+  (* Pass 1 (fork-only): sequential baseline, prefork scaling over the
+     mmapped image, and Gc.minor_words allocation fences. *)
+  let pass2 =
+    List.map
+      (fun { lang; files } ->
+        let inputs = Array.of_list (List.map (fun f -> f.src) files) in
+        let bytes = List.fold_left (fun a f -> a + f.bytes) 0 files in
+        let g = Lang.grammar lang in
+        let tokenize s = Result.map Word.of_buf (Lang.tokenize_buf lang s) in
+        (* Learn the whole corpus once, freeze the DFA to a flat image,
+           and serve everything below from the read-only mapping. *)
+        let learner = P.make g in
+        Array.iter
+          (fun src ->
+            match tokenize src with
+            | Ok w -> ignore (P.run_word learner w)
+            | Error msg -> failwith msg)
+          inputs;
+        let img = Filename.temp_file "costar_e16_" ".img" in
+        Costar_core.Cache.save_image ~fingerprint:(Grammar.fingerprint g)
+          (P.base_cache learner) img;
+        let p = P.make g in
+        (match
+           Costar_core.Cache.load_image ~anl:(P.analysis p)
+             ~fingerprint:(Grammar.fingerprint g) img
+         with
+        | Ok c -> P.set_base_cache p c
+        | Error e -> failwith (Costar_core.Cache.image_error_to_string e));
+        let trials = max 5 cfg.trials in
+        let seq_t =
+          time_best ~trials (fun () ->
+              Array.iter
+                (fun src ->
+                  match tokenize src with
+                  | Ok w -> ignore (P.run_word p w)
+                  | Error msg -> failwith msg)
+                inputs)
+        in
+        let pre_ts =
+          List.map
+            (fun w ->
+              ( w,
+                time_best ~trials (fun () ->
+                    ignore (Batch.run_prefork ~workers:w p ~tokenize inputs))
+              ))
+            worker_counts
+        in
+        let t_at w = List.assoc w pre_ts in
+        let speedup4 = seq_t /. t_at 4 in
+        if lang.Lang.name = "json" then json_speedup := speedup4;
+        Printf.printf
+          "%-10s %6d %7.2f %9.2f %9.2f %9.2f %9.2f %9.1f %7.2fx\n"
+          lang.Lang.name (Array.length inputs)
+          (float_of_int bytes /. 1e6)
+          (seq_t *. 1e3) (t_at 1 *. 1e3) (t_at 2 *. 1e3) (t_at 4 *. 1e3)
+          (float_of_int bytes /. t_at 4 /. 1e6)
+          speedup4;
+        Bench_json.record ~bench:"E16" (lang.Lang.name ^ ".seq_ms")
+          (seq_t *. 1e3);
+        List.iter
+          (fun w ->
+            Bench_json.record ~bench:"E16"
+              (Printf.sprintf "%s.speedup_%dp" lang.Lang.name w)
+              (seq_t /. t_at w))
+          worker_counts;
+        (* Allocation fences, min over samples.  The warm data plane (DFA
+           scan into a cleared off-heap buffer) must allocate nothing per
+           token; warm end-to-end additionally builds the parse tree, a
+           fixed floor of one Token and one Leaf per consumed token, so it
+           is gated as a budget rather than at zero. *)
+        let f = List.nth files (List.length files - 1) in
+        let min_words reps fn =
+          let best = ref infinity in
+          for _ = 1 to trials do
+            let m0 = Gc.minor_words () in
+            for _ = 1 to reps do
+              fn ()
+            done;
+            let w = (Gc.minor_words () -. m0) /. float_of_int reps in
+            if w < !best then best := w
+          done;
+          !best
+        in
+        let e2e_words =
+          min_words 3 (fun () ->
+              match tokenize f.src with
+              | Ok w -> ignore (P.run_word p w)
+              | Error msg -> failwith msg)
+          /. float_of_int (max 1 f.n_toks)
+        in
+        let scan_words =
+          match Lang.scanner lang with
+          | None -> nan
+          | Some sc -> (
+            match Costar_lex.Scanner.compile sc g with
+            | Error msg -> failwith msg
+            | Ok compiled ->
+              let buf = Token_buf.create_for_input f.src in
+              Costar_lex.Scanner.scan_into compiled buf f.src;
+              let n = max 1 (Token_buf.length buf) in
+              min_words 3 (fun () ->
+                  Token_buf.clear buf;
+                  Costar_lex.Scanner.scan_into compiled buf f.src)
+              /. float_of_int n)
+        in
+        if Float.is_nan scan_words then
+          Printf.printf
+            "           alloc: end-to-end %.2f minor words/token (tree \
+             floor; scanner not a plain DFA)\n"
+            e2e_words
+        else begin
+          Printf.printf
+            "           alloc: scan %.3f minor words/token (data plane), \
+             end-to-end %.2f minor words/token (tree floor)\n"
+            scan_words e2e_words;
+          Bench_json.record ~bench:"E16"
+            (lang.Lang.name ^ ".scan_minor_words_per_tok")
+            scan_words
+        end;
+        if lang.Lang.name = "json" then json_words := e2e_words;
+        Bench_json.record ~bench:"E16"
+          (lang.Lang.name ^ ".e2e_minor_words_per_tok")
+          e2e_words;
+        Sys.remove img;
+        (lang, p, tokenize, inputs, seq_t))
+      corpora
+  in
+  (* Pass 2 (domains): the head-to-head comparison, after every fork above
+     has completed. *)
+  List.iter
+    (fun (lang, p, tokenize, inputs, seq_t) ->
+      let trials = max 5 cfg.trials in
+      let dom_t =
+        time_best ~trials (fun () ->
+            ignore (Batch.run_batch ~domains:4 p ~tokenize inputs))
+      in
+      Printf.printf
+        "%-10s 4-domain head-to-head: %.2f ms (%.2fx vs seq; prefork x@4p \
+         above)\n"
+        lang.Lang.name (dom_t *. 1e3) (seq_t /. dom_t);
+      Bench_json.record ~bench:"E16"
+        (lang.Lang.name ^ ".speedup_4d") (seq_t /. dom_t))
+    pass2;
+  (* Stable machine-readable lines for the CI gates. *)
+  Printf.printf "E16-gate json 4-worker prefork speedup: %.2fx\n"
+    !json_speedup;
+  Printf.printf "E16-gate json warm minor words per token: %.2f\n"
+    !json_words;
+  print_newline ()
+
 (* ------------------------------------------------------------------ *)
 (* E15: multicore batch parsing — domains vs sequential throughput     *)
 (* ------------------------------------------------------------------ *)
 
 let batch_bench cfg =
-  (* A dedicated, larger corpus: batch scaling is only measurable when
-     per-file parse work dominates the fixed per-round costs (domain spawn,
-     snapshot freeze, and OCaml 5's cross-domain minor-GC synchronization),
-     so E15 uses files an order of magnitude bigger than the fig9 sweep. *)
-  let corpora =
-    let n = if cfg.quick then 12 else 24 in
-    let h x = if cfg.quick then x / 2 else x in
-    [
-      build_corpus Json.lang ~n ~lo:2000 ~hi:(h 40000);
-      build_corpus Xml.lang ~n ~lo:2000 ~hi:(h 20000);
-      build_corpus Dot.lang ~n ~lo:2000 ~hi:(h 12000);
-      build_corpus Minipy.lang ~n:(min n 16) ~lo:1000 ~hi:(h 6000);
-    ]
-  in
+  let corpora = batch_corpora cfg in
   print_endline
     "== E15: multicore batch parsing (frozen DFA snapshot + per-domain \
      overlays) ==";
@@ -1020,6 +1200,9 @@ let () =
   if wants cfg "precache" then precache cfg corpora;
   if wants cfg "intern" then intern_bench cfg corpora;
   if wants cfg "pipeline" then pipeline_bench cfg corpora;
+  (* E16 forks worker processes, which OCaml 5 forbids once any domain has
+     been spawned — so it must run before E15's run_batch. *)
+  if wants cfg "e16" then prefork_bench cfg;
   if wants cfg "batch" then batch_bench cfg;
   if cfg.bechamel then bechamel_run corpora;
   Bench_json.flush ();

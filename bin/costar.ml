@@ -172,9 +172,11 @@ let parse_cmd =
       & opt (some file) None
       & info [ "cache" ] ~docv:"FILE"
           ~doc:
-            "Start from a precompiled prediction-DFA cache (written by \
-             $(b,costar analyze --emit-cache)); the file's grammar \
-             fingerprint must match.")
+            "Start from a precompiled prediction-DFA cache: a v2 cache \
+             (written by $(b,costar analyze --emit-cache)) or a v3 flat \
+             image (written by $(b,costar analyze --emit-image), loaded \
+             zero-copy via mmap); the format is detected from the file, \
+             and its grammar fingerprint must match.")
   in
   let stats_arg =
     Arg.(
@@ -217,7 +219,7 @@ let parse_cmd =
         | Some file ->
           let cache =
             or_die
-              (Cache.load_precompiled ~anl:(P.analysis p)
+              (Cache.load_any ~anl:(P.analysis p)
                  ~fingerprint:(Grammar.fingerprint g) file)
           in
           fst (P.run_with_cache_word p cache word)
@@ -440,7 +442,20 @@ let analyze_cmd =
             "Write the prediction-DFA cache built during analysis to FILE, \
              for $(b,costar parse --cache) to warm-start from.")
   in
-  let run lang grammar start format k emit_cache max_severity max_warnings =
+  let emit_image_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-image" ] ~docv:"FILE"
+          ~doc:
+            "Write the prediction-DFA cache as a v3 flat image: one \
+             contiguous int32-LE file that $(b,costar parse --cache) and \
+             $(b,costar batch --image) map read-only via mmap, so any \
+             number of processes share a single copy with zero \
+             deserialization.")
+  in
+  let run lang grammar start format k emit_cache emit_image max_severity
+      max_warnings =
     let g, _ = resolve_source lang grammar start in
     let r = Analyze.analyze ~k g in
     (* The same A-code diagnostics `costar lint` emits, for the SARIF
@@ -464,12 +479,19 @@ let analyze_cmd =
       Printf.eprintf "costar: wrote %s (%d DFA states, %d transitions)\n" file
         (Cache.num_states r.Analyze.cache)
         (Cache.num_transitions r.Analyze.cache));
+    (match emit_image with
+    | None -> ()
+    | Some file ->
+      Cache.save_image ~fingerprint:(Grammar.fingerprint g) r.Analyze.cache
+        file;
+      Printf.eprintf "costar: wrote %s (v3 image, %d DFA states)\n" file
+        (Cache.num_states r.Analyze.cache));
     exit (Lint.exit_code ~max_severity ~max_warnings (Lazy.force diags))
   in
   let term =
     Term.(
       const run $ lang_arg $ grammar_arg $ start_arg $ diag_format_arg $ k_arg
-      $ emit_cache_arg
+      $ emit_cache_arg $ emit_image_arg
       $ max_severity_arg ~default:Lint.Gate_error
       $ max_warnings_arg)
   in
@@ -754,6 +776,28 @@ let batch_cmd =
              into the shared cache between rounds (default: one round over \
              the whole corpus).")
   in
+  let image_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "image" ] ~docv:"FILE"
+          ~doc:
+            "mmap a v3 flat cache image (written by $(b,costar analyze \
+             --emit-image)) read-only as the shared prediction-DFA base. \
+             With $(b,--prefork), every worker process shares the same \
+             physical pages.")
+  in
+  let prefork_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "prefork" ] ~docv:"N"
+          ~doc:
+            "Use N forked worker $(i,processes) instead of domains. Each \
+             worker has a private heap and GC (no stop-the-world coupling); \
+             combine with $(b,--image) to share one mmapped DFA cache \
+             across all workers.")
+  in
   let quiet_arg =
     Arg.(
       value
@@ -788,7 +832,7 @@ let batch_cmd =
     in
     List.concat_map expand (paths @ List.map String.trim from_list)
   in
-  let run lang paths list_file domains round_size quiet stats =
+  let run lang paths list_file domains round_size image prefork quiet stats =
     let name =
       match lang with
       | Some n -> n
@@ -810,13 +854,30 @@ let batch_cmd =
       Result.map Word.of_buf (Costar_langs.Lang.tokenize_buf l s)
     in
     let p = P.make g in
+    (match image with
+    | None -> ()
+    | Some file -> (
+      match
+        Cache.load_image ~anl:(P.analysis p)
+          ~fingerprint:(Grammar.fingerprint g) file
+      with
+      | Ok c -> P.set_base_cache p c
+      | Error e ->
+        Printf.eprintf "costar batch: %s: %s\n" file
+          (Cache.image_error_to_string e);
+        exit 1));
     if stats then begin
       Costar_core.Instr.reset ();
       Costar_core.Instr.enabled := true
     end;
     let t0 = Unix.gettimeofday () in
     let results, st =
-      Costar_parallel.Batch.run_batch ?domains ?round_size p ~tokenize contents
+      match prefork with
+      | Some workers ->
+        Costar_parallel.Batch.run_prefork ~workers p ~tokenize contents
+      | None ->
+        Costar_parallel.Batch.run_batch ?domains ?round_size p ~tokenize
+          contents
     in
     let wall = Unix.gettimeofday () -. t0 in
     Costar_core.Instr.enabled := false;
@@ -843,11 +904,13 @@ let batch_cmd =
       let module B = Costar_parallel.Batch in
       let module I = Costar_core.Instr in
       Printf.eprintf
-        "batch: %d files (%.2f MB) in %.4fs over %d domains, %d round(s): \
-         %.1f files/s, %.2f MB/s\n"
+        "batch: %d files (%.2f MB) in %.4fs over %d %s, %d round(s): %.1f \
+         files/s, %.2f MB/s\n"
         st.B.st_files
         (float_of_int st.B.st_bytes /. 1e6)
-        wall st.B.st_domains st.B.st_rounds
+        wall st.B.st_domains
+        (if prefork <> None then "worker processes" else "domains")
+        st.B.st_rounds
         (float_of_int st.B.st_files /. wall)
         (float_of_int st.B.st_bytes /. wall /. 1e6);
       Printf.eprintf "dfa cache: %d states before, %d after absorption\n"
@@ -875,7 +938,7 @@ let batch_cmd =
   let term =
     Term.(
       const run $ lang_arg $ paths_arg $ list_arg $ domains_arg $ round_arg
-      $ quiet_arg $ stats_arg)
+      $ image_arg $ prefork_arg $ quiet_arg $ stats_arg)
   in
   Cmd.v
     (Cmd.info "batch"

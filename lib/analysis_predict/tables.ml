@@ -71,14 +71,14 @@ type t = {
 
 let magic = "costar/tables"
 let format_version = 1
-let bits = 32
-let words_for n = (n + bits - 1) / bits
+let bits = Flatimg.bits
+let words_for = Flatimg.words_for
 
 (* --- Encoding ----------------------------------------------------------- *)
 
 (* The payload is accumulated as a reversed word list; [build] is the only
    producer so quadratic appends never threaten. *)
-let push buf v = buf := v land 0xffffffff :: !buf
+let push = Flatimg.push
 
 let push_bools buf flags =
   let row = Array.make (words_for (Array.length flags)) 0 in
@@ -158,31 +158,17 @@ let build g flow (r : Analyze.t) =
   { fingerprint = Grammar.fingerprint g;
     words = Array.of_list (List.rev !buf) }
 
-(* FNV-1a over the payload bytes, rendered as one hex word in the header. *)
-let checksum words =
-  let h = ref 0x811c9dc5 in
-  let mix b = h := (!h lxor b) * 0x01000193 land 0xffffffff in
-  Array.iter
-    (fun w ->
-      mix (w land 0xff);
-      mix ((w lsr 8) land 0xff);
-      mix ((w lsr 16) land 0xff);
-      mix ((w lsr 24) land 0xff))
-    words;
-  !h
+(* FNV-1a over the payload bytes, rendered as one hex word in the header
+   (the byte discipline lives in {!Costar_grammar.Flatimg}, shared with
+   the v3 prediction-cache image). *)
+let checksum = Flatimg.checksum
 
 let encode t =
   let buf = Buffer.create ((Array.length t.words * 4) + 128) in
   Buffer.add_string buf
     (Printf.sprintf "%s\n%d\n%s\n%d %08x\n" magic format_version t.fingerprint
        (Array.length t.words) (checksum t.words));
-  Array.iter
-    (fun w ->
-      Buffer.add_char buf (Char.chr (w land 0xff));
-      Buffer.add_char buf (Char.chr ((w lsr 8) land 0xff));
-      Buffer.add_char buf (Char.chr ((w lsr 16) land 0xff));
-      Buffer.add_char buf (Char.chr ((w lsr 24) land 0xff)))
-    t.words;
+  Flatimg.add_le_words buf t.words;
   Buffer.contents buf
 
 (* --- Checked reads ------------------------------------------------------- *)
@@ -391,11 +377,7 @@ let decode ?expect_fingerprint s =
       else if String.length s - p4 > n_words * 4 then
         Error (Malformed "trailing bytes after payload")
       else begin
-        let words =
-          Array.init n_words (fun i ->
-              let b k = Char.code s.[p4 + (i * 4) + k] in
-              b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24))
-        in
+        let words = Flatimg.words_of_le_string s ~pos:p4 ~count:n_words in
         if checksum words <> sum then Error Checksum_mismatch
         else
           let t = { fingerprint = fp; words } in

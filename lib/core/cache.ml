@@ -52,6 +52,22 @@ let dummy_cfg = { Config.s_pred = -1; s_frames = Frames.nil; s_ctx = Ctx_accept 
 
 type closure_result = (Config.sll list * bool, Types.error) result
 
+(* A validated v3 flat cache image (DESIGN.md §13): one contiguous int32
+   bigarray, typically an [Unix.map_file] view of an image file, so N
+   processes share a single page-cache copy with zero deserialization.
+   Offsets are absolute word indices into [i_words], admitted once by the
+   structural validation walk in [validate_image]; hot reads afterwards use
+   the unchecked [Flatimg.get_u].  The bigarray is never written. *)
+type image = {
+  i_words : Flatimg.i32;
+  i_terms : int;  (** terminals per transition row *)
+  i_states : int;  (** states stored in the image *)
+  i_inits_at : int;  (** nonterminal -> initial state id, or -1 *)
+  i_trans_at : int;  (** dense [i_states * i_terms] successor matrix *)
+  i_index_at : int;  (** state -> config-block offset (relative to data) *)
+  i_data_at : int;  (** per-state configuration blocks *)
+}
+
 type t = {
   (* The analysis this cache was created against.  Configurations are
      expressed in its [Frames] interner, whose spine ids depend on runtime
@@ -92,6 +108,11 @@ type t = {
   mutable n_states : int;
   mutable n_trans : int; (* transitions added at THIS layer *)
   inits : int array; (* nonterminal -> initial state id, or -1 *)
+  (* A third read layer below [base]: an mmapped v3 image.  Reads that miss
+     both the own layer and the base fall through to the image's dense
+     rows; state infos are decoded from the image lazily, per state, on
+     first touch.  [None] for ordinary caches. *)
+  img : image option;
 }
 
 let create anl =
@@ -118,6 +139,7 @@ let create anl =
     n_states = 0;
     n_trans = 0;
     inits = Array.make (max 1 (Grammar.num_nonterminals g)) (-1);
+    img = None;
   }
 
 let frames c = c.frames
@@ -175,6 +197,42 @@ let closure_of_id c id =
     | Some b when id < c.base_cfgs -> b.closures.(id)
     | _ -> None)
 
+(* Decode one state's configuration block out of an image.  [collect]
+   makes the read order explicit (a stateful cursor must not rely on
+   [List.init]'s evaluation order).  The spines go through the shared
+   frames interner, which serializes internally, so concurrent lazy
+   decodes from several domains are safe. *)
+let collect n f =
+  let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (f () :: acc) in
+  go n []
+
+let image_state_configs frames (im : image) sid =
+  let words = im.i_words in
+  let cur = ref (im.i_data_at + Flatimg.get_u words (im.i_index_at + sid)) in
+  let next () =
+    let v = Flatimg.get_u words !cur in
+    incr cur;
+    v
+  in
+  let n_cfgs = next () in
+  collect n_cfgs (fun () ->
+      let pred = next () in
+      let ctx = next () in
+      let n_frames = next () in
+      let frames_syms =
+        collect n_frames (fun () ->
+            let n_syms = next () in
+            collect n_syms (fun () ->
+                let kind = next () in
+                let v = next () in
+                if kind = 0 then T v else NT v))
+      in
+      {
+        Config.s_pred = pred;
+        s_frames = Frames.spine_of_frames frames frames_syms;
+        s_ctx = (if ctx < 0 then Config.Ctx_accept else Config.Ctx_nt ctx);
+      })
+
 (* Raw variants for the warm prediction fast path: no option/box per call. *)
 let rec init_get c x =
   let s = c.inits.(x) in
@@ -182,7 +240,10 @@ let rec init_get c x =
   else
     match c.base with
     | Some b -> init_get b x
-    | None -> -1
+    | None -> (
+      match c.img with
+      | Some im -> Flatimg.get_u im.i_words (im.i_inits_at + x)
+      | None -> -1)
 
 let find_init c x =
   let s = init_get c x in
@@ -253,7 +314,24 @@ let rec info c sid =
     match c.base with
     | Some b -> info b sid
     | None -> assert false
-  else c.infos.(sid - c.base_states)
+  else begin
+    let off = sid - c.base_states in
+    let inf = c.infos.(off) in
+    if inf != dummy_info then inf
+    else
+      match c.img with
+      | Some im when sid < im.i_states ->
+        (* Lazy per-state decode from the image, memoized in [infos].  Two
+           domains may race here and decode the same state twice; both
+           results are equal immutable records (and OCaml publishes
+           initializing writes safely), so whichever pointer a reader
+           observes is correct — the race costs a duplicate decode, not
+           correctness. *)
+        let inf = compute_info c.uniq (image_state_configs c.frames im sid) in
+        c.infos.(off) <- inf;
+        inf
+      | _ -> inf
+  end
 
 (* The warm-path transition read: -1 when absent.  [find_trans] wraps it in
    an option for ordinary callers.  An overlay row, once created, shadows
@@ -265,7 +343,13 @@ let rec trans_get c sid a =
   else
     match c.base with
     | Some b when sid < c.base_states -> trans_get b sid a
-    | _ -> -1
+    | _ -> (
+      (* Third layer: the mmapped image's dense row — one unboxed word
+         read, straight off the page cache. *)
+      match c.img with
+      | Some im when sid < im.i_states ->
+        Flatimg.get_u im.i_words (im.i_trans_at + (sid * im.i_terms) + a)
+      | _ -> -1)
 
 let find_trans c sid a =
   let s = trans_get c sid a in
@@ -276,15 +360,12 @@ let add_trans c sid a sid' =
     let row = c.trans.(sid) in
     if row != no_row then row
     else begin
+      (* Copy-on-write: seed the fresh row from the layered read view
+         (base row, image row, or image behind the base), so once
+         installed it fully shadows the layers below for reads. *)
       let row =
-        match c.base with
-        | Some b when sid < c.base_states ->
-          (* Copy-on-write: seed the overlay row from the (immutable) base
-             row so it fully shadows it for reads. *)
-          let brow = b.trans.(sid) in
-          if brow == no_row then Array.make (max 1 c.n_terms) (-1)
-          else Array.copy brow
-        | _ -> Array.make (max 1 c.n_terms) (-1)
+        Array.init (max 1 c.n_terms) (fun t ->
+            if t < c.n_terms then trans_get c sid t else -1)
       in
       c.trans.(sid) <- row;
       row
@@ -384,6 +465,9 @@ let overlay (fz : frozen) =
     n_states = fz.n_states;
     n_trans = 0;
     inits = Array.make (Array.length fz.inits) (-1);
+    (* Reads that miss the overlay fall to [base], which consults its own
+       image if it has one — the overlay needs no direct image pointer. *)
+    img = None;
   }
 
 let overlay_new_states c = c.n_states - c.base_states
@@ -607,3 +691,433 @@ let load_precompiled ~anl ~fingerprint file =
         match really_input_string ic (in_channel_length ic) with
         | exception _ -> Error (file ^ ": unreadable prediction cache")
         | s -> of_precompiled ~anl ~fingerprint s)
+
+(* {2 Flat cache images (format v3)}
+
+   One contiguous int32-LE file (word discipline shared with `costar
+   tables` via {!Costar_grammar.Flatimg}), laid out so a process can
+   [Unix.map_file] it read-only and serve predictions straight off the
+   mapping — no unmarshalling, no per-process heap copy, N processes
+   sharing one page-cache image.
+
+     header   [magic | version=3 | endian sentinel | fp bytes | digest
+               bytes | payload words | FNV-1a checksum of payload]
+     strings  grammar fingerprint, then frames digest, bytes packed LE
+     payload  META   n_terms n_nts n_states n_prods
+              INITS  n_nts words        (initial state id or -1)
+              TRANS  n_states*n_terms   (dense successor matrix, -1 absent)
+              INDEX  n_states words     (config-block offset per state)
+              DATA   per state: n_configs, then per config:
+                       pred, ctx (-1 accept | nonterminal id), n_frames,
+                       per frame: n_syms, per symbol: kind (0 T | 1 NT), id
+
+   Closure memos are deliberately absent: they are recomputed
+   deterministically on demand, and [compute_info] rebuilds verdict boxes
+   from the configuration lists, so configurations + transitions + inits
+   are the whole cache.  Everything is validated — bounds, ranges, block
+   contiguity, checksum — before any offset is trusted; hot readers then
+   use unchecked loads. *)
+
+let image_magic = 0x52334143 (* "CA3R" in LE bytes; v2 files start "cost" *)
+let image_version = 3
+let endian_sentinel = 0x01020304
+
+type image_error =
+  | Img_io of string
+  | Img_bad_magic
+  | Img_bad_version of int
+  | Img_endian_mismatch
+  | Img_truncated
+  | Img_checksum_mismatch
+  | Img_fingerprint_mismatch
+  | Img_digest_mismatch
+  | Img_malformed of string
+
+let image_error_to_string = function
+  | Img_io msg -> msg
+  | Img_bad_magic -> "not a costar cache image (bad magic)"
+  | Img_bad_version v ->
+    Printf.sprintf
+      "unsupported cache-image format version %d (this build reads version \
+       %d); regenerate it with `costar analyze --emit-image`"
+      v image_version
+  | Img_endian_mismatch ->
+    "cache image byte order does not match this host (big-endian mapping \
+     of a little-endian image)"
+  | Img_truncated -> "corrupt cache image (truncated)"
+  | Img_checksum_mismatch -> "corrupt cache image (checksum mismatch)"
+  | Img_fingerprint_mismatch ->
+    "cache image was built for a different grammar (fingerprint mismatch); \
+     regenerate it with `costar analyze --emit-image`"
+  | Img_digest_mismatch ->
+    "cache image was built against a different suffix table (incompatible \
+     build); regenerate it with `costar analyze --emit-image`"
+  | Img_malformed what ->
+    Printf.sprintf "corrupt cache image (malformed %s)" what
+
+(* Bytes of a string packed four-per-word, little-endian within a word. *)
+let pack_bytes s =
+  let n = String.length s in
+  Array.init ((n + 3) / 4) (fun i ->
+      let byte j = if (4 * i) + j < n then Char.code s.[(4 * i) + j] else 0 in
+      byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24))
+
+let unpack_bytes words ~at ~len =
+  String.init len (fun i ->
+      let w = Flatimg.get words (at + (i / 4)) in
+      Char.chr ((w lsr (8 * (i mod 4))) land 0xff))
+
+let words_of_bytes n = (n + 3) / 4
+
+let push_config c b (cfg : Config.sll) =
+  Flatimg.push b cfg.Config.s_pred;
+  Flatimg.push b (Config.ctx_code cfg.Config.s_ctx);
+  let frames = Frames.frames_of_spine c.frames cfg.Config.s_frames in
+  Flatimg.push b (List.length frames);
+  List.iter
+    (fun syms ->
+      Flatimg.push b (List.length syms);
+      List.iter
+        (function
+          | T a ->
+            Flatimg.push b 0;
+            Flatimg.push b a
+          | NT x ->
+            Flatimg.push b 1;
+            Flatimg.push b x)
+        syms)
+    frames
+
+let image_words ~fingerprint c =
+  let g = Analysis.grammar c.anl in
+  let n_nts = Grammar.num_nonterminals g in
+  let digest = Frames.fingerprint c.frames in
+  (* Per-state configuration blocks first: the index needs their sizes. *)
+  let blocks =
+    Array.init c.n_states (fun sid ->
+        let b = ref [] in
+        let inf = info c sid in
+        Flatimg.push b (List.length inf.configs);
+        List.iter (push_config c b) inf.configs;
+        Array.of_list (List.rev !b))
+  in
+  let p = ref [] in
+  Flatimg.push p c.n_terms;
+  Flatimg.push p n_nts;
+  Flatimg.push p c.n_states;
+  Flatimg.push p (Array.length c.uniq);
+  for x = 0 to n_nts - 1 do
+    Flatimg.push p (init_get c x)
+  done;
+  for sid = 0 to c.n_states - 1 do
+    for a = 0 to c.n_terms - 1 do
+      Flatimg.push p (trans_get c sid a)
+    done
+  done;
+  let off = ref 0 in
+  Array.iter
+    (fun b ->
+      Flatimg.push p !off;
+      off := !off + Array.length b)
+    blocks;
+  let payload =
+    Array.concat
+      (Array.of_list (List.rev !p) :: Array.to_list blocks)
+  in
+  let h = ref [] in
+  Flatimg.push h image_magic;
+  Flatimg.push h image_version;
+  Flatimg.push h endian_sentinel;
+  Flatimg.push h (String.length fingerprint);
+  Flatimg.push h (String.length digest);
+  Flatimg.push h (Array.length payload);
+  Flatimg.push h (Flatimg.checksum payload);
+  Array.concat
+    [ Array.of_list (List.rev !h); pack_bytes fingerprint; pack_bytes digest;
+      payload ]
+
+let image_bytes ~fingerprint c =
+  let words = image_words ~fingerprint c in
+  let buf = Buffer.create (4 * Array.length words) in
+  Flatimg.add_le_words buf words;
+  Buffer.contents buf
+
+let save_image ~fingerprint c file =
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (image_bytes ~fingerprint c))
+
+exception Img_err of image_error
+
+(* Validate a candidate image end to end — header, checksum, identity,
+   then a full structural walk over every table and every configuration
+   block — and return the admitted offsets.  Nothing from the file is
+   trusted until this returns: the walk bounds-checks every read against
+   the payload and every id against its range, and requires the config
+   blocks to tile the payload tail exactly (no gaps, no trailing bytes).
+   After admission the hot paths may use unchecked loads. *)
+let validate_image ~anl ~fingerprint words =
+  let fail e = raise_notrace (Img_err e) in
+  let dim = Flatimg.dim words in
+  try
+    if dim < 7 then fail Img_truncated;
+    (* A byte-swapped mapping (big-endian host over the LE file) swaps the
+       magic word itself, so it must be recognized here, before any other
+       field is believed. *)
+    (match Flatimg.get words 0 land 0xffffffff with
+    | w when w = image_magic -> ()
+    | 0x43413352 (* image_magic byte-swapped *) -> fail Img_endian_mismatch
+    | _ -> fail Img_bad_magic);
+    if Flatimg.get words 2 land 0xffffffff <> endian_sentinel then
+      fail (Img_malformed "endian sentinel");
+    let version = Flatimg.get words 1 in
+    if version <> image_version then fail (Img_bad_version version);
+    let n_fp = Flatimg.get words 3 in
+    let n_dg = Flatimg.get words 4 in
+    let n_pay = Flatimg.get words 5 in
+    if n_fp < 0 || n_fp > 4096 || n_dg < 0 || n_dg > 4096 || n_pay < 0 then
+      fail (Img_malformed "header lengths");
+    let fp_at = 7 in
+    let dg_at = fp_at + words_of_bytes n_fp in
+    let pay_at = dg_at + words_of_bytes n_dg in
+    if pay_at + n_pay <> dim then fail Img_truncated;
+    if
+      Flatimg.checksum_i32 words ~pos:pay_at ~len:n_pay
+      <> Flatimg.get words 6 land 0xffffffff
+    then fail Img_checksum_mismatch;
+    if unpack_bytes words ~at:fp_at ~len:n_fp <> fingerprint then
+      fail Img_fingerprint_mismatch;
+    if
+      unpack_bytes words ~at:dg_at ~len:n_dg
+      <> Frames.fingerprint (Analysis.frames anl)
+    then fail Img_digest_mismatch;
+    (* Structural walk of the payload. *)
+    if n_pay < 4 then fail (Img_malformed "payload header");
+    let g = Analysis.grammar anl in
+    let n_terms = Flatimg.get words pay_at in
+    let n_nts = Flatimg.get words (pay_at + 1) in
+    let n_states = Flatimg.get words (pay_at + 2) in
+    let n_prods = Flatimg.get words (pay_at + 3) in
+    if
+      n_terms <> Grammar.num_terminals g
+      || n_nts <> Grammar.num_nonterminals g
+      || n_prods <> Grammar.num_productions g
+      || n_states < 0
+    then fail (Img_malformed "grammar shape");
+    let pay_end = pay_at + n_pay in
+    let inits_at = pay_at + 4 in
+    let trans_at = inits_at + n_nts in
+    let index_at = trans_at + (n_states * n_terms) in
+    let data_at = index_at + n_states in
+    if data_at > pay_end then fail Img_truncated;
+    for x = 0 to n_nts - 1 do
+      let s = Flatimg.get words (inits_at + x) in
+      if s < -1 || s >= n_states then fail (Img_malformed "initial state")
+    done;
+    for i = 0 to (n_states * n_terms) - 1 do
+      let s = Flatimg.get words (trans_at + i) in
+      if s < -1 || s >= n_states then fail (Img_malformed "transition")
+    done;
+    (* The config blocks must tile [data_at, pay_end) in state order. *)
+    let cur = ref data_at in
+    let next () =
+      if !cur >= pay_end then fail Img_truncated;
+      let v = Flatimg.get words !cur in
+      incr cur;
+      v
+    in
+    for sid = 0 to n_states - 1 do
+      if Flatimg.get words (index_at + sid) <> !cur - data_at then
+        fail (Img_malformed "state index");
+      let n_cfgs = next () in
+      if n_cfgs < 0 then fail (Img_malformed "config count");
+      for _ = 1 to n_cfgs do
+        let pred = next () in
+        if pred < 0 || pred >= n_prods then fail (Img_malformed "prediction");
+        let ctx = next () in
+        if ctx < -1 || ctx >= n_nts then fail (Img_malformed "context");
+        let n_frames = next () in
+        if n_frames < 0 then fail (Img_malformed "frame count");
+        for _ = 1 to n_frames do
+          let n_syms = next () in
+          if n_syms < 0 then fail (Img_malformed "symbol count");
+          for _ = 1 to n_syms do
+            let kind = next () in
+            let v = next () in
+            match kind with
+            | 0 -> if v < 0 || v >= n_terms then fail (Img_malformed "terminal")
+            | 1 -> if v < 0 || v >= n_nts then fail (Img_malformed "nonterminal")
+            | _ -> fail (Img_malformed "symbol kind")
+          done
+        done
+      done
+    done;
+    if !cur <> pay_end then fail (Img_malformed "trailing words");
+    Ok
+      {
+        i_words = words;
+        i_terms = n_terms;
+        i_states = n_states;
+        i_inits_at = inits_at;
+        i_trans_at = trans_at;
+        i_index_at = index_at;
+        i_data_at = data_at;
+      }
+  with Img_err e -> Error e
+
+(* An image-backed cache: arrays pre-sized so the image's state-id range
+   is addressable, contents served lazily from the mapping. *)
+let image_cache ~anl (im : image) =
+  let g = Analysis.grammar anl in
+  {
+    anl;
+    frames = Analysis.frames anl;
+    n_terms = im.i_terms;
+    uniq =
+      Array.init
+        (Array.length (Grammar.prods g))
+        (fun ix -> Types.Unique_pred ix);
+    base = None;
+    base_cfgs = 0;
+    base_states = 0;
+    cfg_ids = Config.Sll_tbl.create 256;
+    cfgs = Array.make 256 dummy_cfg;
+    closures = Array.make 256 None;
+    n_cfgs = 0;
+    state_ids = Key_tbl.create 64;
+    keys = Array.make (im.i_states + 64) no_row;
+    infos = Array.make (im.i_states + 64) dummy_info;
+    trans = Array.make (im.i_states + 64) no_row;
+    n_states = im.i_states;
+    n_trans = 0;
+    inits = Array.make (max 1 (Grammar.num_nonterminals g)) (-1);
+    img = Some im;
+  }
+
+let image_backed c = c.img <> None
+
+(* Heap decode — the differential oracle for the mmap path: re-intern
+   every image state in id order (reproducing identical ids, as v2's
+   [of_portable] does) and replay the dense tables. *)
+let of_image ~anl (im : image) =
+  let c = create anl in
+  for sid = 0 to im.i_states - 1 do
+    let configs = image_state_configs c.frames im sid in
+    let _, sid' = intern c configs in
+    if sid' <> sid then
+      invalid_arg "Cache.of_image: inconsistent state numbering"
+  done;
+  for sid = 0 to im.i_states - 1 do
+    for a = 0 to im.i_terms - 1 do
+      let s' = Flatimg.get im.i_words (im.i_trans_at + (sid * im.i_terms) + a) in
+      if s' >= 0 then ignore (add_trans c sid a s')
+    done
+  done;
+  for x = 0 to Array.length c.inits - 1 do
+    let s = Flatimg.get im.i_words (im.i_inits_at + x) in
+    if s >= 0 then ignore (add_init c x s)
+  done;
+  c
+
+let validated_image_of_bytes ~anl ~fingerprint s =
+  let n = String.length s in
+  if n land 3 <> 0 then Error Img_truncated
+  else
+    let words =
+      Flatimg.of_words (Flatimg.words_of_le_string s ~pos:0 ~count:(n / 4))
+    in
+    validate_image ~anl ~fingerprint words
+
+(* Heap decode from bytes (endian-independent: the LE decode is explicit). *)
+let of_image_bytes ~anl ~fingerprint s =
+  match validated_image_of_bytes ~anl ~fingerprint s with
+  | Error _ as e -> e
+  | Ok im -> (
+    match of_image ~anl im with
+    | c -> Ok c
+    | exception Invalid_argument msg -> Error (Img_malformed msg))
+
+let read_file file =
+  match open_in_bin file with
+  | exception Sys_error msg -> Error (Img_io msg)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | exception _ -> Error (Img_io (file ^ ": unreadable cache image"))
+        | s -> Ok s)
+
+let map_image_file file =
+  match Unix.openfile file [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Img_io (file ^ ": " ^ Unix.error_message e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let len = (Unix.fstat fd).Unix.st_size in
+        if len land 3 <> 0 || len < 7 * 4 then Error Img_truncated
+        else
+          match
+            Unix.map_file fd Bigarray.int32 Bigarray.c_layout false
+              [| len / 4 |]
+          with
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Img_io (file ^ ": mmap failed: " ^ Unix.error_message e))
+          | ga -> Ok (Bigarray.array1_of_genarray ga))
+
+(* Check the leading magic before mapping, so a non-image file (e.g. a v2
+   cache, whose size need not even be word-aligned) is reported as such
+   rather than as a truncated image. *)
+let sniff_magic file =
+  match open_in_bin file with
+  | exception Sys_error msg -> Error (Img_io msg)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic 4 with
+        | exception _ -> Error Img_truncated
+        | s ->
+          if Flatimg.le_word s 0 = image_magic then Ok ()
+          else Error Img_bad_magic)
+
+(* Map the file and serve straight off the mapping.  On a big-endian host
+   the mapped words are byte-swapped (the sentinel detects this); fall
+   back to the explicit-LE heap decode so the loader works everywhere —
+   only the zero-copy sharing is LE-specific. *)
+let load_image ~anl ~fingerprint file =
+  match
+    match sniff_magic file with
+    | Error _ as e -> e
+    | Ok () -> map_image_file file
+  with
+  | Error _ as e -> e
+  | Ok words -> (
+    match validate_image ~anl ~fingerprint words with
+    | Ok im -> Ok (image_cache ~anl im)
+    | Error Img_endian_mismatch -> (
+      match read_file file with
+      | Error _ as e -> e
+      | Ok s -> of_image_bytes ~anl ~fingerprint s)
+    | Error _ as e -> e)
+
+(* Heap-decoded load (the oracle path: same validation, no mapping). *)
+let load_image_heap ~anl ~fingerprint file =
+  match read_file file with
+  | Error _ as e -> e
+  | Ok s -> of_image_bytes ~anl ~fingerprint s
+
+(* Magic-sniffing loader for CLI `--cache` arguments: v3 images start
+   "CA3R", v2 caches "cost"; anything else falls to the v2 loader for its
+   diagnostics. *)
+let load_any ~anl ~fingerprint file =
+  match read_file file with
+  | Error e -> Error (image_error_to_string e)
+  | Ok s ->
+    if String.length s >= 4 && Flatimg.le_word s 0 = image_magic then
+      Result.map_error image_error_to_string
+        (load_image ~anl ~fingerprint file)
+    else of_precompiled ~anl ~fingerprint s

@@ -183,3 +183,67 @@ val save_precompiled : fingerprint:string -> t -> string -> unit
 (** [load_precompiled ~anl ~fingerprint file] reads and validates [file]. *)
 val load_precompiled :
   anl:Analysis.t -> fingerprint:string -> string -> (t, string) result
+
+(** {1 Flat cache images (format v3)}
+
+    A second persistence format, designed for sharing rather than
+    archiving: the frozen cache — state configurations, the dense
+    terminal-indexed transition matrix, initial states — encoded as one
+    contiguous int32-little-endian image with a validated header
+    (magic, version, endian sentinel, grammar fingerprint, suffix-table
+    digest, FNV-1a payload checksum; word discipline shared with
+    [costar tables] via {!Costar_grammar.Flatimg}).
+
+    {!load_image} maps the file read-only with [Unix.map_file] and serves
+    predictions straight off the mapping: transition reads are single
+    unboxed word loads against the page cache, state infos are decoded
+    lazily per state on first touch, and N processes mapping the same file
+    share one physical copy with zero deserialization — the substrate of
+    the prefork serving tier (DESIGN.md §13).  Everything is
+    bounds-and-range validated before any offset is trusted.  Closure
+    memos are not stored; they are recomputed deterministically on
+    demand. *)
+
+type image_error =
+  | Img_io of string  (** open/read/mmap failure, with the reason *)
+  | Img_bad_magic
+  | Img_bad_version of int  (** found this version on disk *)
+  | Img_endian_mismatch
+      (** byte-swapped mapping (big-endian host); the file itself may be
+          fine — {!load_image} falls back to the heap decode *)
+  | Img_truncated
+  | Img_checksum_mismatch
+  | Img_fingerprint_mismatch  (** built for a different grammar *)
+  | Img_digest_mismatch  (** built against a different suffix table *)
+  | Img_malformed of string  (** structural validation failed: what *)
+
+val image_error_to_string : image_error -> string
+
+(** Encode a cache (typically a fully analyzed one) as a v3 image. *)
+val image_bytes : fingerprint:string -> t -> string
+
+(** [save_image ~fingerprint c file] writes {!image_bytes} to [file]. *)
+val save_image : fingerprint:string -> t -> string -> unit
+
+(** Decode an in-memory image into an ordinary heap cache, re-interning
+    states in id order (the differential oracle for {!load_image}). *)
+val of_image_bytes :
+  anl:Analysis.t -> fingerprint:string -> string -> (t, image_error) result
+
+(** Map [file] read-only and return an image-backed cache serving reads
+    from the mapping.  Falls back to the heap decode on a byte-swapped
+    (big-endian) host, where zero-copy mapping is not available. *)
+val load_image :
+  anl:Analysis.t -> fingerprint:string -> string -> (t, image_error) result
+
+(** Load [file] through the heap-decode path (same validation, no mmap). *)
+val load_image_heap :
+  anl:Analysis.t -> fingerprint:string -> string -> (t, image_error) result
+
+(** Whether this cache serves reads from a mapped image. *)
+val image_backed : t -> bool
+
+(** Magic-sniffing loader for CLI [--cache] arguments: dispatches on the
+    leading bytes to the v3 image loader or the v2 {!load_precompiled}. *)
+val load_any :
+  anl:Analysis.t -> fingerprint:string -> string -> (t, string) result

@@ -104,7 +104,7 @@ let predict_cursor g anl x conts kinds len i0 =
         | [ p ] -> (Types.Unique_pred p, depth)
         | p :: _ -> (Types.Ambig_pred p, depth)
       else (
-        match closure g anl (move anl configs (Array.unsafe_get kinds i)) with
+        match closure g anl (move anl configs (Bigarray.Array1.unsafe_get kinds i)) with
         | Error e -> (Types.Error_pred e, depth)
         | Ok configs' -> loop (depth + 1) configs' (i + 1))
   in

@@ -75,7 +75,7 @@ let safe_terminal_name = Costar_grammar.Names.terminal
 
 let consume env st a suf =
   if st.pos < st.word.Word.len then
-    if Array.unsafe_get st.word.Word.kinds st.pos = a then
+    if Bigarray.Array1.unsafe_get st.word.Word.kinds st.pos = a then
       (* The leaf token is materialized here, at consume time: in the
          buffer pipeline this is where the lexeme is first sliced and the
          position first recovered (the laziness contract's other end). *)

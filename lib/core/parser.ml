@@ -44,6 +44,11 @@ let base_cache p =
     p.base <- Some !c;
     !c
 
+let set_base_cache p c =
+  if Cache.frames c != Analysis.frames (analysis p) then
+    invalid_arg "Parser.set_base_cache: cache belongs to a different analysis";
+  p.base <- Some c
+
 let multistep env ~inspect st0 =
   let rec go st =
     inspect st;

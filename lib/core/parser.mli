@@ -50,6 +50,12 @@ val run_buf : t -> Token_buf.t -> result
     cache-behaviour measurements. *)
 val base_cache : t -> Cache.t
 
+(** Install a loaded cache (a v2 precompiled cache or an image-backed v3
+    cache) as the parser's base, replacing the lazily built static grammar
+    cache.  Raises [Invalid_argument] if the cache was built against a
+    different analysis. *)
+val set_base_cache : t -> Cache.t -> unit
+
 (** [run_cold p w] is {!run} on an independent copy of the static grammar
     cache: nothing learned from [w] leaks into later runs.  This is the
     paper tool's per-parse cache behaviour, kept for cold-cache

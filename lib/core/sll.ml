@@ -148,7 +148,7 @@ let rec loop g anl depth cache sid kinds len i =
       | [ p ] -> (cache, Types.Unique_pred p, depth)
       | p :: _ -> (cache, Types.Ambig_pred p, depth)
     else begin
-      let a = Array.unsafe_get kinds i in
+      let a = Bigarray.Array1.unsafe_get kinds i in
       Instr.record_cov_edge sid a;
       (* Warm path: a pair of array reads. *)
       let sid' = Cache.trans_get cache sid a in
@@ -231,7 +231,7 @@ let rec fast_verdict cache sid kinds len i =
   | Cache.V_pending ->
     if i >= len then info.Cache.eof_pred
     else
-      let sid' = Cache.trans_get cache sid (Array.unsafe_get kinds i) in
+      let sid' = Cache.trans_get cache sid (Bigarray.Array1.unsafe_get kinds i) in
       if sid' >= 0 then fast_verdict cache sid' kinds len (i + 1)
       else raise_notrace Fast_miss
 

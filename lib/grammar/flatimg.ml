@@ -1,0 +1,83 @@
+(* Shared codec for the flat int32-LE image formats: the `costar tables`
+   export (Costar_predict_analysis.Tables, format v1) and the v3
+   prediction-cache image (Costar_core.Cache).  Both encode a payload of
+   32-bit words, little-endian on disk, guarded by the same FNV-1a
+   checksum; this module owns the word-level byte discipline so the two
+   formats cannot drift apart.
+
+   The int32 Bigarray helpers back the mmap-shared cache image: a file of
+   whole LE words maps 1:1 onto an [int32 Bigarray.Array1] on a
+   little-endian host, and [get]/[get_u] read plain unboxed [int]s out of
+   it (the bigarray load and [Int32.to_int] compose without materializing
+   an [Int32.t] box in native code — the warm prediction path depends on
+   that). *)
+
+let bits = 32
+let words_for n = (n + bits - 1) / bits
+
+(* Reversed-word-list builder: the only producers build once, front to
+   back, so list-cons accumulation never goes quadratic. *)
+let push buf v = buf := v land 0xffffffff :: !buf
+
+(* --- FNV-1a -------------------------------------------------------------- *)
+
+(* FNV-1a over the little-endian bytes of the words, 32-bit folded.  The
+   byte order makes the checksum a function of the on-disk bytes, not of
+   the in-memory representation. *)
+let checksum_fold ~len get =
+  let h = ref 0x811c9dc5 in
+  let mix b = h := (!h lxor b) * 0x01000193 land 0xffffffff in
+  for i = 0 to len - 1 do
+    let w = get i in
+    mix (w land 0xff);
+    mix ((w lsr 8) land 0xff);
+    mix ((w lsr 16) land 0xff);
+    mix ((w lsr 24) land 0xff)
+  done;
+  !h
+
+let checksum words =
+  checksum_fold ~len:(Array.length words) (Array.unsafe_get words)
+
+(* --- LE words <-> bytes -------------------------------------------------- *)
+
+let add_le_word buf w =
+  Buffer.add_char buf (Char.chr (w land 0xff));
+  Buffer.add_char buf (Char.chr ((w lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((w lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((w lsr 24) land 0xff))
+
+let add_le_words buf words = Array.iter (add_le_word buf) words
+
+(* One LE word from byte offset [pos]; the caller has checked bounds. *)
+let le_word s pos =
+  let b k = Char.code (String.unsafe_get s (pos + k)) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let words_of_le_string s ~pos ~count =
+  Array.init count (fun i -> le_word s (pos + (i * 4)))
+
+(* --- int32 Bigarray views ------------------------------------------------ *)
+
+type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let dim (a : i32) = Bigarray.Array1.dim a
+
+(* Sign-extending word reads.  [get_u] is the warm-path variant: no bounds
+   check, no box — safe only on indices a prior [validate]-style walk has
+   already admitted. *)
+let get (a : i32) i = Int32.to_int (Bigarray.Array1.get a i)
+
+let[@inline] get_u (a : i32) i =
+  Int32.to_int (Bigarray.Array1.unsafe_get a i)
+
+let set (a : i32) i v = Bigarray.Array1.set a i (Int32.of_int v)
+
+let of_words words : i32 =
+  let n = Array.length words in
+  let a = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout n in
+  Array.iteri (fun i w -> set a i w) words;
+  a
+
+let checksum_i32 (a : i32) ~pos ~len =
+  checksum_fold ~len (fun i -> get_u a (pos + i) land 0xffffffff)

@@ -1,17 +1,31 @@
 (* Struct-of-arrays token buffer: the zero-copy counterpart of
-   [Token.t list].  A scan writes three parallel int arrays — terminal
-   ids and start/end byte offsets into the (shared, unsliced) input —
-   and nothing else: no per-token records, no lexeme substrings, no
-   line/column bookkeeping.  Lexemes and positions are materialized
+   [Token.t list].  A scan writes three parallel off-heap arrays —
+   terminal ids and start/end byte offsets into the (shared, unsliced)
+   input — and nothing else: no per-token records, no lexeme substrings,
+   no line/column bookkeeping.  Lexemes and positions are materialized
    lazily, per token, only where they are actually consumed (parse-tree
-   leaves, error messages, dumps). *)
+   leaves, error messages, dumps).
+
+   The arrays are [Bigarray.Array1]s of native ints, not [int array]s:
+   bigarray storage lives outside the OCaml heap, so a pre-sized buffer
+   that is [reset] between requests contributes nothing to the minor heap
+   and nothing to GC scan work — the off-heap data plane of DESIGN.md
+   §13.  The native-int kind (rather than int32) is what keeps reads
+   unboxed unconditionally: [Array1.unsafe_get] on an int-kind bigarray
+   returns a plain [int] in all compilation modes, while an int32 kind
+   would return a boxed [Int32.t]. *)
+
+type int_array = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let alloc n : int_array =
+  Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
 
 type t = {
-  input : string;  (** the scanned input; lexemes are slices of it *)
+  mutable input : string;  (** the scanned input; lexemes are slices of it *)
   mutable len : int;
-  mutable kinds : int array;  (** terminal id per token *)
-  mutable starts : int array;  (** byte offset of the first lexeme byte *)
-  mutable ends : int array;  (** byte offset one past the last lexeme byte *)
+  mutable kinds : int_array;  (** terminal id per token *)
+  mutable starts : int_array;  (** byte offset of the first lexeme byte *)
+  mutable ends : int_array;  (** byte offset one past the last lexeme byte *)
   mutable lines : Lines.t option;  (** built on first position query *)
 }
 
@@ -20,17 +34,18 @@ let create ?(capacity = 64) input =
   {
     input;
     len = 0;
-    kinds = Array.make capacity 0;
-    starts = Array.make capacity 0;
-    ends = Array.make capacity 0;
+    kinds = alloc capacity;
+    starts = alloc capacity;
+    ends = alloc capacity;
     lines = None;
   }
 
 (* Pre-sizing from the input length keeps steady-state scanning free of
    even the amortized growth copies: one token per ~8 bytes is an
    overestimate for every bundled language. *)
-let create_for_input input =
-  create ~capacity:((String.length input / 8) + 16) input
+let capacity_for input = (String.length input / 8) + 16
+
+let create_for_input input = create ~capacity:(capacity_for input) input
 
 let length b = b.len
 let input b = b.input
@@ -40,30 +55,49 @@ let input b = b.input
    nothing. *)
 let clear b = b.len <- 0
 
+(* Rebind the arena to a new input: same storage, new request.  The
+   arrays are grown up front (if the new input needs more) so the
+   subsequent scan proceeds without growth copies; the newline table is
+   dropped (it belonged to the old input). *)
+let reset b input =
+  b.input <- input;
+  b.len <- 0;
+  b.lines <- None;
+  let want = capacity_for input in
+  if Bigarray.Array1.dim b.kinds < want then begin
+    b.kinds <- alloc want;
+    b.starts <- alloc want;
+    b.ends <- alloc want
+  end
+
 let grow b =
-  let cap = Array.length b.kinds in
-  let extend a = Array.append a (Array.make cap 0) in
+  let cap = Bigarray.Array1.dim b.kinds in
+  let extend (a : int_array) =
+    let bigger = alloc (2 * cap) in
+    Bigarray.Array1.blit a (Bigarray.Array1.sub bigger 0 cap);
+    bigger
+  in
   b.kinds <- extend b.kinds;
   b.starts <- extend b.starts;
   b.ends <- extend b.ends
 
 let add b ~kind ~start ~stop =
-  if b.len = Array.length b.kinds then grow b;
+  if b.len = Bigarray.Array1.dim b.kinds then grow b;
   let i = b.len in
-  Array.unsafe_set b.kinds i kind;
-  Array.unsafe_set b.starts i start;
-  Array.unsafe_set b.ends i stop;
+  Bigarray.Array1.unsafe_set b.kinds i kind;
+  Bigarray.Array1.unsafe_set b.starts i start;
+  Bigarray.Array1.unsafe_set b.ends i stop;
   b.len <- i + 1
 
-let kind b i = b.kinds.(i)
-let start_ofs b i = b.starts.(i)
-let end_ofs b i = b.ends.(i)
+let kind b i = Bigarray.Array1.get b.kinds i
+let start_ofs b i = Bigarray.Array1.get b.starts i
+let end_ofs b i = Bigarray.Array1.get b.ends i
 
 (* The backing array, possibly longer than [length]; pair it with
    [length] (as {!Word.of_buf} does) rather than iterating it blindly. *)
 let kinds_unsafe b = b.kinds
 
-let lexeme b i = String.sub b.input b.starts.(i) (b.ends.(i) - b.starts.(i))
+let lexeme b i = String.sub b.input (start_ofs b i) (end_ofs b i - start_ofs b i)
 
 let lines b =
   match b.lines with
@@ -73,10 +107,10 @@ let lines b =
     b.lines <- Some l;
     l
 
-let pos b i = Lines.pos (lines b) b.starts.(i)
+let pos b i = Lines.pos (lines b) (start_ofs b i)
 
 let token b i =
   let line, col = pos b i in
-  Token.make ~line ~col b.kinds.(i) (lexeme b i)
+  Token.make ~line ~col (kind b i) (lexeme b i)
 
 let to_tokens b = List.init b.len (token b)

@@ -1,11 +1,19 @@
 (** Struct-of-arrays token buffer — the zero-copy token stream.
 
-    Three parallel int arrays (terminal ids, start offsets, end offsets
-    into the shared input string) replace [Token.t list] on the lex→parse
-    hot path.  The laziness contract: scanning records offsets only;
-    lexemes are sliced and positions recovered (via the {!Lines} table,
-    built on first query) per token, on demand — so tokens that are only
-    ever stepped over by prediction cost three ints and nothing more. *)
+    Three parallel off-heap arrays (terminal ids, start offsets, end
+    offsets into the shared input string) replace [Token.t list] on the
+    lex→parse hot path.  The laziness contract: scanning records offsets
+    only; lexemes are sliced and positions recovered (via the {!Lines}
+    table, built on first query) per token, on demand — so tokens that
+    are only ever stepped over by prediction cost three int writes and
+    nothing more.
+
+    The arrays are native-int {!Bigarray.Array1}s: the storage lives
+    outside the OCaml heap, so a pre-sized buffer reused across requests
+    (see {!reset}) adds nothing to minor-GC pressure or heap scan work. *)
+
+type int_array = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Off-heap int array; [Array1.unsafe_get] returns an unboxed [int]. *)
 
 type t
 
@@ -23,6 +31,12 @@ val input : t -> string
     the same input into a cleared buffer allocates nothing. *)
 val clear : t -> unit
 
+(** [reset b input] rebinds the buffer to a new input, keeping (and if
+    necessary growing, up front) the arrays: one arena serves many
+    requests, so steady-state lexing allocates nothing per request.  The
+    newline table is dropped with the old input. *)
+val reset : t -> string -> unit
+
 (** Append one token.  [start]/[stop] delimit the lexeme in the input;
     a synthesized token (e.g. the indenter's INDENT) uses [start = stop],
     making its lexeme empty and its position that of [start]. *)
@@ -34,7 +48,7 @@ val end_ofs : t -> int -> int
 
 (** The kinds backing array.  May be longer than [length]; only indices
     below [length] are meaningful. *)
-val kinds_unsafe : t -> int array
+val kinds_unsafe : t -> int_array
 
 (** Lazy lexeme: a fresh slice of the input. *)
 val lexeme : t -> int -> string

@@ -1,26 +1,29 @@
-(* The parser core's view of its input: a dense array of terminal ids
-   plus a lazy token materializer.  Prediction and the machine's consume
-   step read [kinds.(i)] directly; a boxed [Token.t] is built only for
-   parse-tree leaves and error messages.
+(* The parser core's view of its input: a dense off-heap array of
+   terminal ids plus a lazy token materializer.  Prediction and the
+   machine's consume step read [kinds.(i)] directly; a boxed [Token.t] is
+   built only for parse-tree leaves and error messages.
 
    Both frontends lower to this one representation: [of_tokens] wraps
    the legacy list pipeline (tokens already exist, so [leaf] just
    indexes them), [of_buf] wraps the zero-copy buffer pipeline ([leaf]
-   slices the lexeme and binary-searches the newline table on demand). *)
+   slices the lexeme and binary-searches the newline table on demand).
+   [of_buf] shares the buffer's bigarray storage — no copy, and the
+   cursor adds nothing to GC scan work (DESIGN.md §13). *)
 
 type t = {
-  kinds : int array;  (** terminal id per token; indices [0 .. len-1] *)
+  kinds : Token_buf.int_array;  (** terminal id per token; [0 .. len-1] *)
   len : int;
   leaf : int -> Token.t;  (** materialize token [i] *)
 }
 
 let of_tokens toks =
   let arr = Array.of_list toks in
-  {
-    kinds = Array.map Token.term arr;
-    len = Array.length arr;
-    leaf = Array.get arr;
-  }
+  let n = Array.length arr in
+  let kinds =
+    Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max 1 n)
+  in
+  Array.iteri (fun i tok -> Bigarray.Array1.set kinds i (Token.term tok)) arr;
+  { kinds; len = n; leaf = Array.get arr }
 
 let of_buf buf =
   {
@@ -30,7 +33,7 @@ let of_buf buf =
   }
 
 let length w = w.len
-let kind w i = w.kinds.(i)
+let kind w i = Bigarray.Array1.get w.kinds i
 let token w i = w.leaf i
 
 let to_tokens w = List.init w.len w.leaf

@@ -1,13 +1,15 @@
 (** The array cursor the parser core runs on.
 
-    A word is a dense [int array] of terminal ids plus a lazy
+    A word is a dense off-heap array of terminal ids (a native-int
+    bigarray, shared with the producing {!Token_buf}) plus a lazy
     per-position token materializer; the core consumes [(word, index)]
-    pairs so the prediction fast path is pure array reads.  Produced
-    from either frontend: {!of_tokens} (legacy list pipeline) or
-    {!of_buf} (zero-copy buffer pipeline). *)
+    pairs so the prediction fast path is pure unboxed array reads.
+    Produced from either frontend: {!of_tokens} (legacy list pipeline)
+    or {!of_buf} (zero-copy buffer pipeline). *)
 
 type t = {
-  kinds : int array;  (** terminal id per token; only [0 .. len-1] valid *)
+  kinds : Token_buf.int_array;
+      (** terminal id per token; only [0 .. len-1] valid *)
   len : int;
   leaf : int -> Token.t;  (** lazy materializer for leaves and errors *)
 }

@@ -1,13 +1,26 @@
 type state = int
 
+(* The hot stepping tables live off the OCaml heap (DESIGN.md §13): the
+   byte→class map as an int8 bigarray (class ids are < 256 by
+   construction) and the flat state×class successor table as an int16
+   bigarray (state ids and the -1 dead marker; [of_nfa] rejects scanners
+   past 32767 states, far beyond any real rule set).  [Array1.unsafe_get]
+   on these kinds returns a plain unboxed [int], so the scan loop reads
+   them with zero allocation and zero GC scan cost. *)
+type classes_arr =
+  (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type ctrans_arr =
+  (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   start : state;
   trans : int array array;  (** state -> 256-entry successor array, -1 dead *)
   accepts : int option array;
   accept_ix : int array;  (** accepting rule index per state, -1 if none *)
-  classes : int array;  (** byte -> equivalence class, 256 entries *)
+  classes : classes_arr;  (** byte -> equivalence class, 256 entries *)
   num_classes : int;
-  ctrans : int array;  (** flat [state * num_classes] successor table *)
+  ctrans : ctrans_arr;  (** flat [state * num_classes] successor table *)
 }
 
 let start d = d.start
@@ -16,12 +29,15 @@ let accept d s = d.accepts.(s)
 let accept_ix d s = d.accept_ix.(s)
 
 let num_classes d = d.num_classes
-let class_of d c = d.classes.(Char.code c)
-let class_table d = d.classes
+let class_of d c = Bigarray.Array1.get d.classes (Char.code c)
+let class_table d = Array.init 256 (Bigarray.Array1.get d.classes)
+let class_table_arr d = d.classes
 let class_trans d = d.ctrans
 
-let next_class d s cls = d.ctrans.((s * d.num_classes) + cls)
-let next d s c = next_class d s d.classes.(Char.code c)
+let next_class d s cls =
+  Bigarray.Array1.get d.ctrans ((s * d.num_classes) + cls)
+
+let next d s c = next_class d s (class_of d c)
 
 (* The raw 256-column row walk the classes compress; kept as the oracle
    for the class-correctness property (next ≡ next_raw on all bytes). *)
@@ -45,7 +61,7 @@ let class_reps d =
   let rep = Array.make d.num_classes (-1) in
   let best = Array.make d.num_classes (-1) in
   for c = 0 to 255 do
-    let k = d.classes.(c) in
+    let k = Bigarray.Array1.get d.classes c in
     if score c > best.(k) then begin
       best.(k) <- score c;
       rep.(k) <- c
@@ -64,7 +80,7 @@ let witness_table d =
   while not (Queue.is_empty q) do
     let s = Queue.pop q in
     for k = 0 to d.num_classes - 1 do
-      let s' = d.ctrans.((s * d.num_classes) + k) in
+      let s' = next_class d s k in
       if s' >= 0 && dist.(s') < 0 then begin
         dist.(s') <- dist.(s) + 1;
         back.(s') <- (s, k);
@@ -112,7 +128,7 @@ let accept_witness d s =
       let u = Queue.pop q in
       let k = ref 0 in
       while !found = None && !k < d.num_classes do
-        let u' = d.ctrans.((u * d.num_classes) + !k) in
+        let u' = next_class d u !k in
         if u' >= 0 && dist.(u') < 0 then begin
           dist.(u') <- dist.(u) + 1;
           back.(u') <- (u, !k);
@@ -228,5 +244,26 @@ let of_nfa nfa =
   let accepts = Array.make n None in
   List.iter (fun (id, a) -> accepts.(id) <- a) !accepts_acc;
   let accept_ix = Array.map (function Some ix -> ix | None -> -1) accepts in
+  if n > 32767 then
+    invalid_arg
+      (Printf.sprintf
+         "Dfa.of_nfa: %d states exceed the int16 transition-table range" n);
   let classes, num_classes, ctrans = build_classes trans in
-  { start; trans; accepts; accept_ix; classes; num_classes; ctrans }
+  let classes_ba =
+    Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout 256
+  in
+  Array.iteri (Bigarray.Array1.set classes_ba) classes;
+  let ctrans_ba =
+    Bigarray.Array1.create Bigarray.int16_signed Bigarray.c_layout
+      (Array.length ctrans)
+  in
+  Array.iteri (Bigarray.Array1.set ctrans_ba) ctrans;
+  {
+    start;
+    trans;
+    accepts;
+    accept_ix;
+    classes = classes_ba;
+    num_classes;
+    ctrans = ctrans_ba;
+  }

@@ -8,11 +8,19 @@
     The 256 byte columns are partitioned into equivalence classes (two
     bytes are equivalent iff every state agrees on their successors);
     transitions are stored once per class in a flat
-    [state * num_classes] int table plus a 256-entry byte→class map.
-    Stepping is two array reads; the raw per-state rows are retained as
-    the oracle for the class-correctness property test. *)
+    [state * num_classes] table plus a 256-entry byte→class map.  Both
+    hot tables are off-heap bigarrays (int8 classes, int16 successors —
+    see DESIGN.md §13); stepping is two unboxed array reads.  The raw
+    per-state rows are retained as the oracle for the class-correctness
+    property test. *)
 
 type t
+
+type classes_arr =
+  (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type ctrans_arr =
+  (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type state = int
 
@@ -40,11 +48,15 @@ val accept_ix : t -> state -> int
 val num_classes : t -> int
 val class_of : t -> char -> int
 
-(** The 256-entry byte→class map (do not mutate). *)
+(** The 256-entry byte→class map, materialized as a fresh [int array]
+    (cold paths: coverage marking, tests). *)
 val class_table : t -> int array
 
+(** The 256-entry byte→class map's off-heap backing (do not mutate). *)
+val class_table_arr : t -> classes_arr
+
 (** The flat [state * num_classes] successor table (do not mutate). *)
-val class_trans : t -> int array
+val class_trans : t -> ctrans_arr
 
 (** [next_class dfa s cls] steps on a precomputed class id. *)
 val next_class : t -> state -> int -> state

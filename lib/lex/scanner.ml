@@ -54,7 +54,7 @@ let pp_error ppf e =
    reads per byte (byte -> class, (state, class) -> state) against the
    DFA's flat class table. *)
 let munch dfa input n pos =
-  let classes = Dfa.class_table dfa in
+  let classes = Dfa.class_table_arr dfa in
   let ctrans = Dfa.class_trans dfa in
   let nc = Dfa.num_classes dfa in
   let best_end = ref (-1) and best_rule = ref (-1) in
@@ -63,9 +63,10 @@ let munch dfa input n pos =
   (try
      while !i < n do
        let cls =
-         Array.unsafe_get classes (Char.code (String.unsafe_get input !i))
+         Bigarray.Array1.unsafe_get classes
+           (Char.code (String.unsafe_get input !i))
        in
-       let s' = Array.unsafe_get ctrans ((!state * nc) + cls) in
+       let s' = Bigarray.Array1.unsafe_get ctrans ((!state * nc) + cls) in
        if s' < 0 then raise_notrace Exit;
        state := s';
        incr i;
@@ -143,16 +144,20 @@ let tokenize t g input =
    once, here, instead of once per token ([tokenize] re-resolves the rule
    name on every token it emits).  Scanning then runs in a single pass
    over the input, writing (kind, start, end) int triples into a
-   struct-of-arrays buffer — no records, no substrings, no positions. *)
+   struct-of-arrays buffer — no records, no substrings, no positions.
+   Every table the loop reads is an off-heap bigarray (the DFA's int8
+   class map and int16 successor table, plus the per-state emit table
+   below), so a warm scan touches the OCaml heap only to grow the token
+   buffer — which a pre-sized arena never does. *)
 type compiled = {
   sc : t;
   cstart : int;
-  classes : int array;
-  ctrans : int array;
+  classes : Dfa.classes_arr;
+  ctrans : Dfa.ctrans_arr;
   nc : int;
   (* Per DFA state: the terminal id to emit if the state's accepting rule
      is an Emit rule, -1 for a Skip rule, -2 for a non-accepting state. *)
-  accept_term : int array;
+  accept_term : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
 }
 
 let compile t g =
@@ -180,15 +185,18 @@ let compile t g =
         t.rules
     in
     let accept_term =
-      Array.init (Dfa.num_states t.dfa) (fun s ->
-          let r = Dfa.accept_ix t.dfa s in
-          if r < 0 then -2 else rule_term.(r))
+      Bigarray.Array1.create Bigarray.int Bigarray.c_layout
+        (Dfa.num_states t.dfa)
     in
+    for s = 0 to Dfa.num_states t.dfa - 1 do
+      let r = Dfa.accept_ix t.dfa s in
+      Bigarray.Array1.set accept_term s (if r < 0 then -2 else rule_term.(r))
+    done;
     Ok
       {
         sc = t;
         cstart = Dfa.start t.dfa;
-        classes = Dfa.class_table t.dfa;
+        classes = Dfa.class_table_arr t.dfa;
         ctrans = Dfa.class_trans t.dfa;
         nc = Dfa.num_classes t.dfa;
         accept_term;
@@ -212,13 +220,14 @@ let scan_into c buf input =
     (try
        while !i < n do
          let cls =
-           Array.unsafe_get classes (Char.code (String.unsafe_get input !i))
+           Bigarray.Array1.unsafe_get classes
+             (Char.code (String.unsafe_get input !i))
          in
-         let s' = Array.unsafe_get ctrans ((!state * nc) + cls) in
+         let s' = Bigarray.Array1.unsafe_get ctrans ((!state * nc) + cls) in
          if s' < 0 then raise_notrace Exit;
          state := s';
          incr i;
-         let t = Array.unsafe_get accept_term s' in
+         let t = Bigarray.Array1.unsafe_get accept_term s' in
          if t >= -1 then begin
            best_end := !i;
            best_term := t
@@ -242,6 +251,15 @@ let scan_into c buf input =
 
 let scan_buf c input =
   let buf = Token_buf.create_for_input input in
+  match scan_into c buf input with
+  | () -> Ok buf
+  | exception Lex_err e -> Error e
+
+(* Arena reuse: rebind the caller's buffer to the new input and scan into
+   it.  A pre-sized arena cycled through [scan_reuse] makes steady-state
+   lexing allocate nothing per request. *)
+let scan_reuse c buf input =
+  Token_buf.reset buf input;
   match scan_into c buf input with
   | () -> Ok buf
   | exception Lex_err e -> Error e

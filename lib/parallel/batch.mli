@@ -63,3 +63,36 @@ val run_batch :
   tokenize:(string -> (Word.t, string) result) ->
   string array ->
   (Costar_core.Parser.result, string) result array * stats
+
+(** [run_prefork ~workers p ~tokenize inputs] parses the corpus with
+    [workers] forked {e processes} instead of domains (DESIGN.md §13).
+    Each worker has its own runtime and minor heap — no shared
+    stop-the-world minor collections, the scaling limit of the domain
+    engine on allocation-heavy parses (E15/E16) — and inherits the
+    parser, scanner tables and base cache copy-on-write; when the base is
+    an mmapped v3 cache image ({!Costar_core.Cache.load_image}), all
+    workers read one physical copy of the transition matrix.
+
+    Work is sharded over a shared pipe of 4-byte file indices (atomic
+    writes, blocking one-index reads — the process analogue of
+    [run_batch]'s atomic cursor); results return over one pipe per worker
+    as length-prefixed marshalled messages, multiplexed by the parent with
+    [select].  A worker crash loses only its in-flight file, which
+    surfaces as a per-file [Error]; remaining files are parsed by the
+    surviving workers.
+
+    Unlike [run_batch], nothing learned by a worker flows back into the
+    parent's cache (processes do not share heaps).  Verdicts are
+    nonetheless byte-identical to sequential parsing — cache contents
+    never influence results.
+
+    Must be called from a single-domain process ([Unix.fork] does not
+    carry other domains into the child).  In [stats], [st_domains] counts
+    workers and [ds_cache] holds each worker's own instrumentation
+    totals. *)
+val run_prefork :
+  ?workers:int ->
+  Costar_core.Parser.t ->
+  tokenize:(string -> (Word.t, string) result) ->
+  string array ->
+  (Costar_core.Parser.result, string) result array * stats

@@ -134,6 +134,86 @@ let test_batch_differential () =
         domain_counts)
     langs
 
+(* --- prefork differential ------------------------------------------------ *)
+
+(* The process tier must satisfy the exact same differential as the domain
+   tier: any worker count, cold or image-backed base, verdicts identical
+   to sequential parsing.  Runs at 2 and 4 workers (CI smokes 2). *)
+let test_prefork_differential () =
+  List.iter
+    (fun l ->
+      let name = l.Costar_langs.Lang.name in
+      let g = Costar_langs.Lang.grammar l in
+      let inputs = corpus_for l in
+      let expected = sequential_outcomes l inputs in
+      List.iter
+        (fun workers ->
+          let p = Parser.make g in
+          let results, st =
+            Batch.run_prefork ~workers p ~tokenize:(tokenize_of_lang l) inputs
+          in
+          Array.iteri
+            (fun i r ->
+              if not (same_outcome expected.(i) r) then
+                Alcotest.failf "%s %dw prefork: file %d differs: %a vs %a" name
+                  workers i (pp_outcome g) expected.(i) (pp_outcome g) r)
+            results;
+          check_int
+            (Printf.sprintf "%s %dw prefork: workers accounted" name workers)
+            workers st.Batch.st_domains;
+          check_int
+            (Printf.sprintf "%s %dw prefork: files accounted" name workers)
+            (Array.length inputs)
+            (Array.fold_left
+               (fun a ds -> a + ds.Batch.ds_files)
+               0 st.Batch.st_per_domain))
+        [ 2; 4 ])
+    langs
+
+(* Prefork over an mmapped v3 cache image: save the warmed base cache,
+   reload it image-backed, fork workers over the mapping — still verdict-
+   identical to sequential parsing. *)
+let test_prefork_over_image () =
+  List.iter
+    (fun l ->
+      let name = l.Costar_langs.Lang.name in
+      let g = Costar_langs.Lang.grammar l in
+      let inputs = corpus_for l in
+      let expected = sequential_outcomes l inputs in
+      let fp = Grammar.fingerprint g in
+      (* Warm a parser on a few files, save its cache as an image. *)
+      let psrc = Parser.make g in
+      Array.iteri
+        (fun i s ->
+          if i < 3 then
+            match tokenize_of_lang l s with
+            | Ok w -> ignore (Parser.run_word psrc w)
+            | Error _ -> ())
+        inputs;
+      let file = Filename.temp_file "costar_prefork" ".img" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+        (fun () ->
+          Cache.save_image ~fingerprint:fp (Parser.base_cache psrc) file;
+          let p = Parser.make g in
+          (match
+             Cache.load_image ~anl:(Parser.analysis p) ~fingerprint:fp file
+           with
+          | Error e ->
+            Alcotest.failf "%s: image load failed: %s" name
+              (Cache.image_error_to_string e)
+          | Ok c -> Parser.set_base_cache p c);
+          let results, _ =
+            Batch.run_prefork ~workers:2 p ~tokenize:(tokenize_of_lang l)
+              inputs
+          in
+          Array.iteri
+            (fun i r ->
+              if not (same_outcome expected.(i) r) then
+                Alcotest.failf "%s prefork-over-image: file %d differs" name i)
+            results))
+    langs
+
 (* --- random-grammar differential ----------------------------------------- *)
 
 (* Random grammars parsed through the batch engine: the corpus is several
@@ -339,6 +419,13 @@ let () =
     [
       ( "differential",
         [
+          (* Prefork first: Unix.fork is only legal while no other domain
+             has been spawned in this process, so the process-tier tests
+             must precede every Domain.spawn. *)
+          Alcotest.test_case "prefork = sequential (4 langs, 2+4 workers)"
+            `Slow test_prefork_differential;
+          Alcotest.test_case "prefork over mmapped image = sequential" `Slow
+            test_prefork_over_image;
           Alcotest.test_case "batch = sequential (4 langs, cold+warm+rounds)"
             `Slow test_batch_differential;
         ]

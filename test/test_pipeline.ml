@@ -244,6 +244,68 @@ let test_scan_minor_words () =
     true
     (words /. float_of_int n < 0.01)
 
+(* Warm end-to-end parse: with the DFA cache saturated, run_buf's per-token
+   cost is the tree-building floor (one Token and one Leaf per consumed
+   token plus machine steps) — a fixed budget, not zero.  The budget fences
+   the data plane: reintroducing per-token boxing in the scanner, the word
+   cursor, or warm prediction blows well past it. *)
+let test_run_buf_minor_words () =
+  List.iter
+    (fun (l, budget) ->
+      let name = l.Costar_langs.Lang.name in
+      let input = Costar_langs.Lang.generate l ~seed:11 ~size:4000 in
+      let p = Parser.make (Costar_langs.Lang.grammar l) in
+      let buf = Costar_langs.Lang.tokenize_buf_exn l input in
+      let n = Token_buf.length buf in
+      check (name ^ " corpus has tokens") true (n > 500);
+      (* Two warm-up runs saturate the base DFA cache for this input. *)
+      ignore (Parser.run_buf p buf);
+      ignore (Parser.run_buf p buf);
+      Gc.full_major ();
+      (* Min over samples: one-sided GC/interference noise only inflates. *)
+      let best = ref infinity in
+      for _ = 1 to 3 do
+        let m0 = Gc.minor_words () in
+        ignore (Parser.run_buf p buf);
+        let w = Gc.minor_words () -. m0 in
+        if w < !best then best := w
+      done;
+      let per_tok = !best /. float_of_int (max 1 n) in
+      check
+        (Printf.sprintf
+           "%s warm run_buf minor words/token within budget (got %.1f, \
+            budget %.0f)"
+           name per_tok budget)
+        true (per_tok < budget))
+    Costar_langs.[ (Json.lang, 150.); (Xml.lang, 150.) ]
+
+(* Warm SLL prediction over the array cursor allocates a small constant per
+   call (the result tuple and verdict), independent of how many tokens the
+   lookahead scans: the scan itself reads kinds straight from the off-heap
+   buffer. *)
+let test_predict_word_minor_words () =
+  let l = Costar_langs.Json.lang in
+  let g = Costar_langs.Lang.grammar l in
+  let p = Parser.make g in
+  let a = Parser.analysis p in
+  let input = Costar_langs.Lang.generate l ~seed:11 ~size:2000 in
+  let w = Word.of_buf (Costar_langs.Lang.tokenize_buf_exn l input) in
+  ignore (Parser.run_word p w);
+  let cache = Parser.base_cache p in
+  let x = Grammar.start g in
+  ignore (Sll.predict_word g a cache x w 0);
+  Gc.full_major ();
+  let reps = 1000 in
+  let m0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    ignore (Sll.predict_word g a cache x w 0)
+  done;
+  let per_call = (Gc.minor_words () -. m0) /. float_of_int reps in
+  check
+    (Printf.sprintf "warm predict_word allocates O(1) words/call (got %.1f)"
+       per_call)
+    true (per_call < 16.)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -268,5 +330,9 @@ let () =
         [
           Alcotest.test_case "steady-state scan allocates ~nothing" `Quick
             test_scan_minor_words;
+          Alcotest.test_case "warm run_buf stays within the tree-floor budget"
+            `Quick test_run_buf_minor_words;
+          Alcotest.test_case "warm predict_word allocates O(1) per call"
+            `Quick test_predict_word_minor_words;
         ] );
     ]
