@@ -22,6 +22,8 @@ open Costar_grammar
 module P = Costar_core.Parser
 module Cache = Costar_core.Cache
 module Analyze = Costar_predict_analysis.Analyze
+module R = Costar_recover.Recover
+module D = Costar_lint.Diagnostic
 
 let read_file path =
   let ic = open_in_bin path in
@@ -144,6 +146,78 @@ let resolve_source lang grammar start =
     prerr_endline "costar: give exactly one of --lang or --grammar";
     exit 1
 
+(* --- shared diagnostic plumbing ----------------------------------------- *)
+
+module Lint = Costar_lint.Lint
+module Render = Costar_lint.Render
+
+(* Exit-policy arguments shared by parse, lint, analyze, and cover: one
+   policy, every command that emits coded diagnostics. *)
+let max_warnings_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "max-warnings" ] ~docv:"N"
+        ~doc:"Tolerate up to N warnings before exiting nonzero (default 0).")
+
+let max_severity_arg ~default =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("none", Lint.Gate_none);
+             ("info", Lint.Gate_info);
+             ("warning", Lint.Gate_warning);
+             ("error", Lint.Gate_error);
+           ])
+        default
+    & info [ "max-severity" ] ~docv:"SEV"
+        ~doc:
+          "Most severe diagnostic level tolerated with exit 0: none, info, \
+           warning, or error (error = report-only, never fail).")
+
+let diag_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text, json, or sarif.")
+
+let tool_version = "1.0.0"
+
+let recover_arg =
+  Arg.(
+    value & flag
+    & info [ "recover" ]
+        ~doc:
+          "Recover from syntax errors instead of stopping at the first one: \
+           repair (insert/delete a token), resynchronize on the dataflow \
+           sync sets, and continue, reporting every failure as a coded \
+           diagnostic and emitting a partial parse tree with explicit \
+           ERROR nodes.")
+
+(* Render parse-time diagnostics (P-codes) in the selected format and
+   return the shared-policy exit code: every failure kind — lexical or
+   parse-time — flows through this one renderer. *)
+let render_diags format ~max_severity ~max_warnings diags =
+  (match format with
+  | `Text -> print_string (Render.text diags)
+  | `Json -> print_string (Render.json diags)
+  | `Sarif -> print_string (Lint.sarif ~tool_version diags));
+  Lint.exit_code ~max_severity ~max_warnings diags
+
+(* Without --recover the engine bails at the first failure (max_errors =
+   0), whose event then carries a give-up repair note; strip those
+   "recovery:" notes — the user never asked for recovery. *)
+let strip_recovery_notes (d : D.t) =
+  {
+    d with
+    D.notes =
+      List.filter
+        (fun n -> not (String.length n >= 9 && String.sub n 0 9 = "recovery:"))
+        d.D.notes;
+  }
+
 (* --- parse -------------------------------------------------------------- *)
 
 let parse_cmd =
@@ -188,7 +262,8 @@ let parse_cmd =
              state interns, transition and closure-memo hit rates) to stderr \
              after parsing.")
   in
-  let run lang grammar lexer start input tokens dot trace cache_file stats =
+  let run lang grammar lexer start input tokens dot trace cache_file stats
+      recover format max_severity max_warnings =
     let g, l = resolve_source lang grammar start in
     let text =
       match tokens, input with
@@ -196,6 +271,7 @@ let parse_cmd =
       | None, Some path -> read_file path
       | None, None -> In_channel.input_all stdin
     in
+    let file = match tokens, input with None, Some path -> Some path | _ -> None in
     let p = P.make g in
     if stats then begin
       Costar_core.Instr.reset ();
@@ -208,21 +284,34 @@ let parse_cmd =
       let lex_minor0 = Gc.minor_words () in
       let word =
         match buf_of_input ?lexer g l text with
-        | Some r -> Word.of_buf (or_die r)
-        | None -> Word.of_tokens (or_die (tokens_of_input ?lexer g l text))
+        | Some (Ok buf) -> Ok (Word.of_buf buf)
+        | Some (Error msg) -> Error msg
+        | None -> Result.map Word.of_tokens (tokens_of_input ?lexer g l text)
+      in
+      let word =
+        match word with
+        | Ok w -> w
+        | Error msg ->
+          (* A lexical failure renders exactly like a parse failure: one
+             P004 diagnostic through the shared renderer and exit policy. *)
+          exit
+            (render_diags format ~max_severity ~max_warnings
+               [ R.lex_diag ?file msg ])
       in
       let lex_t = Unix.gettimeofday () -. lex_t0 in
       let lex_minor = Gc.minor_words () -. lex_minor0 in
-      let result =
+      let eng = R.make p in
+      let max_errors = if recover then 100 else 0 in
+      let outcome =
         match cache_file with
-        | None -> P.run_word p word
-        | Some file ->
+        | None -> R.run_word ?file ~max_errors eng word
+        | Some cf ->
           let cache =
             or_die
               (Cache.load_any ~anl:(P.analysis p)
-                 ~fingerprint:(Grammar.fingerprint g) file)
+                 ~fingerprint:(Grammar.fingerprint g) cf)
           in
-          fst (P.run_with_cache_word p cache word)
+          fst (R.run_with_cache_word ?file ~max_errors eng cache word)
       in
       if stats then begin
         let n = Word.length word in
@@ -273,32 +362,54 @@ let parse_cmd =
           (pct c.I.closure_hits (c.I.closure_hits + c.I.closure_misses));
         I.enabled := false
       end;
-      match result with
-      | P.Unique v | P.Ambig v as r ->
-        (match r with
-        | P.Ambig _ -> prerr_endline "warning: input is ambiguous"
-        | _ -> ());
-        if dot then print_string (Tree.to_dot g v)
-        else Fmt.pr "%a@." (Tree.pp g) v
-      | P.Reject msg ->
-        prerr_endline ("syntax error: " ^ msg);
-        exit 1
-      | P.Error e ->
+      match outcome.R.verdict with
+      | R.Fatal e ->
         prerr_endline ("error: " ^ Costar_core.Types.error_to_string g e);
         exit 2
+      | R.Recovered v | R.Recovered_ambig v ->
+        (match outcome.R.verdict with
+        | R.Recovered_ambig _ -> prerr_endline "warning: input is ambiguous"
+        | _ -> ());
+        let diags = R.diagnostics outcome in
+        if diags = [] then
+          if dot then print_string (Tree.to_dot g v)
+          else Fmt.pr "%a@." (Tree.pp g) v
+        else begin
+          let diags =
+            if recover then diags else List.map strip_recovery_notes diags
+          in
+          (* With --recover the partial tree (explicit ERROR nodes) follows
+             the diagnostics in text mode; structured formats carry the
+             diagnostics alone. *)
+          let code = render_diags format ~max_severity ~max_warnings diags in
+          if recover && format = `Text then
+            if dot then print_string (Tree.to_dot g v)
+            else Fmt.pr "%a@." (Tree.pp g) v;
+          exit code
+        end
     end
   in
   let term =
     Term.(
       const run $ lang_arg $ grammar_arg $ lexer_arg $ start_arg $ input_arg
-      $ tokens_arg $ dot_arg $ trace_arg $ cache_arg $ stats_arg)
+      $ tokens_arg $ dot_arg $ trace_arg $ cache_arg $ stats_arg $ recover_arg
+      $ diag_format_arg
+      $ max_severity_arg ~default:Lint.Gate_warning
+      $ max_warnings_arg)
   in
-  Cmd.v (Cmd.info "parse" ~doc:"Parse input and print the parse tree.") term
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:
+         "Parse input and print the parse tree.  Failures of every kind \
+          (lexical, mismatch, no-viable-alternative, trailing input) are \
+          coded span-carrying diagnostics (P001-P004) rendered as text, \
+          JSON, or SARIF; $(b,--recover) repairs and resynchronizes \
+          instead of stopping, emitting a partial tree with explicit ERROR \
+          nodes.  Exit: 0 clean, 2 on error diagnostics (the shared \
+          --max-severity policy).")
+    term
 
 (* --- lint / check ------------------------------------------------------- *)
-
-module Lint = Costar_lint.Lint
-module Render = Costar_lint.Render
 
 (* Build the lint input for the selected sources.  Syntax errors in either
    file are fatal (exit 2): there is nothing to lint yet. *)
@@ -339,40 +450,6 @@ let lint_input lang grammar start lexer =
     exit 2
   end;
   input
-
-(* Exit-policy arguments shared by lint and analyze (satellite of the
-   dataflow-engine work: one policy, two commands). *)
-let max_warnings_arg =
-  Arg.(
-    value
-    & opt int 0
-    & info [ "max-warnings" ] ~docv:"N"
-        ~doc:"Tolerate up to N warnings before exiting nonzero (default 0).")
-
-let max_severity_arg ~default =
-  Arg.(
-    value
-    & opt
-        (enum
-           [
-             ("none", Lint.Gate_none);
-             ("info", Lint.Gate_info);
-             ("warning", Lint.Gate_warning);
-             ("error", Lint.Gate_error);
-           ])
-        default
-    & info [ "max-severity" ] ~docv:"SEV"
-        ~doc:
-          "Most severe diagnostic level tolerated with exit 0: none, info, \
-           warning, or error (error = report-only, never fail).")
-
-let diag_format_arg =
-  Arg.(
-    value
-    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
-    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text, json, or sarif.")
-
-let tool_version = "1.0.0"
 
 let lint_cmd =
   let run lang grammar lexer start format max_severity max_warnings =
@@ -832,7 +909,8 @@ let batch_cmd =
     in
     List.concat_map expand (paths @ List.map String.trim from_list)
   in
-  let run lang paths list_file domains round_size image prefork quiet stats =
+  let run lang paths list_file domains round_size image prefork quiet stats
+      recover =
     let name =
       match lang with
       | Some n -> n
@@ -881,6 +959,25 @@ let batch_cmd =
     in
     let wall = Unix.gettimeofday () -. t0 in
     Costar_core.Instr.enabled := false;
+    (* With --recover, every failing file gets a sequential second pass
+       through the recovery engine: full coded diagnostics per file instead
+       of one first-error line.  The parallel verdicts are untouched —
+       recovery never changes accept/reject, only what is reported. *)
+    let eng = lazy (R.make p) in
+    let print_diags ds =
+      match Render.text ~with_summary:false ds with
+      | "" -> ()
+      | s ->
+        print_string s;
+        print_newline ()
+    in
+    let recover_report i =
+      match Costar_langs.Lang.tokenize l contents.(i) with
+      | Error msg -> print_diags [ R.lex_diag ~file:files.(i) msg ]
+      | Ok toks ->
+        let o = R.run ~file:files.(i) (Lazy.force eng) toks in
+        print_diags (R.diagnostics o)
+    in
     let failures = ref 0 in
     Array.iteri
       (fun i r ->
@@ -891,14 +988,16 @@ let batch_cmd =
           if not quiet then Printf.printf "%s: ok (ambiguous)\n" file
         | Ok (P.Reject msg) ->
           incr failures;
-          Printf.printf "%s: syntax error: %s\n" file msg
+          if recover then recover_report i
+          else Printf.printf "%s: syntax error: %s\n" file msg
         | Ok (P.Error e) ->
           incr failures;
           Printf.printf "%s: error: %s\n" file
             (Costar_core.Types.error_to_string g e)
         | Error msg ->
           incr failures;
-          Printf.printf "%s: lexical error: %s\n" file msg)
+          if recover then recover_report i
+          else Printf.printf "%s: lexical error: %s\n" file msg)
       results;
     if stats then begin
       let module B = Costar_parallel.Batch in
@@ -938,14 +1037,16 @@ let batch_cmd =
   let term =
     Term.(
       const run $ lang_arg $ paths_arg $ list_arg $ domains_arg $ round_arg
-      $ image_arg $ prefork_arg $ quiet_arg $ stats_arg)
+      $ image_arg $ prefork_arg $ quiet_arg $ stats_arg $ recover_arg)
   in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Parse a corpus of files in parallel across OCaml domains, sharing \
           a frozen prediction-DFA snapshot (per-file verdicts; exit 1 if \
-          any file fails).")
+          any file fails).  With $(b,--recover), failing files get a \
+          sequential second pass through the error-recovery engine and \
+          report full coded diagnostics instead of the first error only.")
     term
 
 (* --- gen ---------------------------------------------------------------- *)
@@ -1010,8 +1111,28 @@ let sample_cmd =
 module Cover = Costar_cover.Cover
 module Witness = Costar_cover.Witness
 module Diff = Costar_cover.Diff
+module Mutate = Costar_cover.Mutate
 
 let cover_cmd =
+  let mutate_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "mutate" ] ~docv:"N"
+          ~doc:
+            "With $(b,--diff): derive N deterministic mutants of the corpus \
+             inputs (byte flips/inserts/deletes, token \
+             deletes/dups/swaps, truncations; seeded, reproducible) and \
+             gate the error-recovery engine on each — no exception, \
+             strict termination-measure decrease (no hang), at least one \
+             coded diagnostic per rejected mutant, and accept/reject \
+             agreement with the plain parser.  Any violation exits 3.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S" ~doc:"Mutation seed (default 0).")
+  in
   let corpus_arg =
     Arg.(
       value
@@ -1063,8 +1184,8 @@ let cover_cmd =
         else [ path ])
       paths
   in
-  let run lang grammar lexer start corpus close diff format max_severity
-      max_warnings =
+  let run lang grammar lexer start corpus close diff mutate seed format
+      max_severity max_warnings =
     let g, l = resolve_source lang grammar start in
     let scanner =
       match l, lexer with
@@ -1088,13 +1209,16 @@ let cover_cmd =
     in
     (* Close pass: a generated sentence per remaining uncovered target. *)
     let generated = if close then Witness.close t else [] in
-    (* Differential pass over everything token-level we ran. *)
+    (* Differential pass over everything token-level we ran — including the
+       error-recovery lane (conservative on clean input, productive and
+       measure-verified on rejects). *)
     let diff_failures = ref 0 in
     let diff_results = ref [] in
+    let eng = lazy (R.make (P.make g)) in
     if diff then begin
       let turbo = Costar_turbo.Turbo.create g in
       let check label toks =
-        match Diff.run ~turbo g toks with
+        match Diff.run ~turbo ~recover:(Lazy.force eng) g toks with
         | Ok () -> ()
         | Error msg ->
           incr diff_failures;
@@ -1108,6 +1232,101 @@ let cover_cmd =
             check w.Witness.label (Costar_predict_analysis.Analyze.tokens_of_terms g terms)
           | None -> ())
         generated
+    end;
+    (* Mutation fuzz gate: deterministic mutants of the corpus, each driven
+       through the plain parser and the recovery engine. *)
+    let mutants_total = ref 0 in
+    let mutants_rejected = ref 0 in
+    let mutant_results = ref [] in
+    if diff && mutate > 0 then begin
+      let seeds =
+        List.map (fun (path, toks) -> (path, read_file path, toks)) corpus_toks
+        @ List.filter_map
+            (fun (w : Witness.generated) ->
+              match w.Witness.tokens with
+              | Some terms ->
+                Some
+                  ( w.Witness.label, "",
+                    Costar_predict_analysis.Analyze.tokens_of_terms g terms )
+              | None -> None)
+            generated
+      in
+      match seeds with
+      | [] ->
+        prerr_endline
+          "costar cover: --mutate needs corpus inputs (or --close witnesses)";
+        exit 2
+      | _ ->
+        let seed_arr = Array.of_list seeds in
+        let n_seeds = Array.length seed_arr in
+        let p = R.parser_of (Lazy.force eng) in
+        let fail label msg =
+          incr diff_failures;
+          mutant_results := (label, msg) :: !mutant_results
+        in
+        let gate label toks' =
+          match R.run ~verify_measure:true (Lazy.force eng) toks' with
+          | exception e ->
+            fail label ("recovery engine raised: " ^ Printexc.to_string e)
+          | o -> (
+            match (P.run p toks', o.R.verdict, o.R.events) with
+            | (P.Unique _ | P.Ambig _), (R.Recovered _ | R.Recovered_ambig _), []
+              ->
+              ()
+            | ( P.Reject _,
+                (R.Recovered t | R.Recovered_ambig t),
+                (_ :: _ as evs) ) ->
+              incr mutants_rejected;
+              if not (Tree.has_errors t) then
+                fail label "rejected mutant: partial tree has no error nodes"
+              else if
+                List.exists
+                  (fun (e : R.event) -> e.R.diag.D.message = "")
+                  evs
+              then fail label "rejected mutant: empty diagnostic message"
+            | P.Error _, R.Fatal _, _ -> ()
+            | plain, v, evs ->
+              let plain_kind =
+                match plain with
+                | P.Unique _ -> "Unique"
+                | P.Ambig _ -> "Ambig"
+                | P.Reject _ -> "Reject"
+                | P.Error _ -> "Error"
+              in
+              let v_kind =
+                match v with
+                | R.Recovered _ -> "Recovered"
+                | R.Recovered_ambig _ -> "Recovered_ambig"
+                | R.Fatal _ -> "Fatal"
+              in
+              fail label
+                (Printf.sprintf
+                   "accept/reject disagreement: plain %s, recovery %s with \
+                    %d events"
+                   plain_kind v_kind (List.length evs)))
+        in
+        for k = 0 to mutate - 1 do
+          let base, source, toks = seed_arr.(k mod n_seeds) in
+          let rng = Rng.split seed k in
+          incr mutants_total;
+          match Mutate.derive rng ~source ~tokens:toks with
+          | Mutate.Source (s, edit) -> (
+            let label =
+              Printf.sprintf "%s#%d (%s)" base k (Mutate.edit_to_string edit)
+            in
+            match tokens_of_input ?lexer g l s with
+            | Error msg ->
+              (* Lexical rejection: the P004 path must still produce a
+                 well-formed diagnostic. *)
+              incr mutants_rejected;
+              if (R.lex_diag msg).D.message = "" then
+                fail label "lexically rejected mutant: empty diagnostic"
+            | Ok toks' -> gate label toks')
+          | Mutate.Tokens (toks', edit) ->
+            gate
+              (Printf.sprintf "%s#%d (%s)" base k (Mutate.edit_to_string edit))
+              toks'
+        done
     end;
     let file =
       match grammar with Some p -> Some p | None -> Option.map (fun _ -> "<builtin>") lang
@@ -1137,8 +1356,8 @@ let cover_cmd =
           | Some b -> Printf.printf "  bytes: %S\n" b
           | None -> ())
         generated;
-      if diff then
-        if !diff_failures = 0 then
+      if diff then begin
+        if !diff_results = [] then
           Printf.printf "diff ok %d\n"
             (List.length corpus_toks
             + List.length
@@ -1147,6 +1366,17 @@ let cover_cmd =
           List.iter
             (fun (label, msg) -> Printf.printf "diff FAIL %s: %s\n" label msg)
             (List.rev !diff_results);
+        (* Fixed fields for CI gating:
+           `mutants ok <total> <rejected>` or one FAIL line per violation. *)
+        if mutate > 0 then
+          if !mutant_results = [] then
+            Printf.printf "mutants ok %d %d\n" !mutants_total !mutants_rejected
+          else
+            List.iter
+              (fun (label, msg) ->
+                Printf.printf "mutant FAIL %s: %s\n" label msg)
+              (List.rev !mutant_results)
+      end;
       if diags <> [] then print_newline ();
       print_string (Render.text diags)
     | `Json ->
@@ -1196,6 +1426,22 @@ let cover_cmd =
                          Obj
                            [ ("input", String label); ("error", String msg) ])
                        (List.rev !diff_results)) );
+                ( "mutants",
+                  Obj
+                    [
+                      ("total", Int !mutants_total);
+                      ("rejected", Int !mutants_rejected);
+                      ( "failures",
+                        List
+                          (List.map
+                             (fun (label, msg) ->
+                               Obj
+                                 [
+                                   ("input", String label);
+                                   ("error", String msg);
+                                 ])
+                             (List.rev !mutant_results)) );
+                    ] );
                 ( "diagnostics",
                   List (List.map Costar_lint.Render.json_of_diag diags) );
               ])
@@ -1207,7 +1453,7 @@ let cover_cmd =
   let term =
     Term.(
       const run $ lang_arg $ grammar_arg $ lexer_arg $ start_arg $ corpus_arg
-      $ close_arg $ diff_arg $ diag_format_arg
+      $ close_arg $ diff_arg $ mutate_arg $ seed_arg $ diag_format_arg
       $ max_severity_arg ~default:Lint.Gate_error
       $ max_warnings_arg)
   in

@@ -25,6 +25,8 @@ let rec check_tags g tree errors =
       else errors
     in
     List.fold_left (fun errs kid -> check_tags g kid errs) errors kids
+  | Tree.Error (_, kids) ->
+    List.fold_left (fun errs kid -> check_tags g kid errs) errors kids
 
 and name_token g = function
   | Tree.Leaf tok when Grammar.terminal_name g tok.Token.term = "NAME" ->

@@ -13,6 +13,7 @@ module P = Costar_core.Parser
 module Measure = Costar_core.Measure
 module Turbo = Costar_turbo.Turbo
 module Count = Costar_earley.Count
+module R = Costar_recover.Recover
 
 let result_kind = function
   | P.Unique _ -> "Unique"
@@ -57,7 +58,12 @@ let position_sane toks msg =
 (* Run one input through the trio.  [turbo] lets a caller reuse one cached
    engine across a corpus (the point of Turbo); a fresh one is created
    otherwise. *)
-let run ?turbo g toks =
+let verdict_kind = function
+  | R.Recovered _ -> "Recovered"
+  | R.Recovered_ambig _ -> "Recovered_ambig"
+  | R.Fatal _ -> "Fatal"
+
+let run ?turbo ?recover g toks =
   let ( let* ) = Result.bind in
   let err fmt = Printf.ksprintf Result.error fmt in
   (* Reference parse, with the §4 measure checked at every machine step. *)
@@ -112,6 +118,42 @@ let run ?turbo g toks =
       err "earley/core verdict mismatch: core %s, earley counts %s"
         (result_kind r)
         (if n >= 2 then ">=2" else string_of_int n)
+  in
+  (* Recovery lane: the error-recovery engine must be conservative on
+     well-formed input (bit-identical tree, empty event list) and
+     productive on malformed input (>=1 coded diagnostic, an error-marked
+     partial tree), with the extended §4 measure strictly decreasing
+     across every repair (the no-hang obligation — [verify_measure]
+     raises on any violation, caught below). *)
+  let* () =
+    match recover with
+    | None -> Ok ()
+    | Some r -> (
+      match R.run ~verify_measure:true r toks with
+      | exception e -> err "recovery engine raised: %s" (Printexc.to_string e)
+      | o -> (
+        match (reference, o.R.verdict, o.R.events) with
+        | P.Unique t1, R.Recovered t2, [] ->
+          if Tree.equal t1 t2 then Ok ()
+          else Error "recovery changed the tree of a clean Unique parse"
+        | P.Ambig t1, R.Recovered_ambig t2, [] ->
+          if Tree.equal t1 t2 then Ok ()
+          else Error "recovery changed the tree of a clean Ambig parse"
+        | P.Reject _, (R.Recovered t | R.Recovered_ambig t), (_ :: _ as evs) ->
+          if not (Tree.has_errors t) then
+            Error
+              "recovery of a rejected input produced a tree without error \
+               nodes"
+          else
+            List.fold_left
+              (fun acc (e : R.event) ->
+                let* () = acc in
+                position_sane toks e.R.diag.Costar_lint.Diagnostic.message)
+              (Ok ()) evs
+        | P.Error _, R.Fatal _, _ -> Ok ()
+        | rr, v, evs ->
+          err "recovery lane mismatch: core %s, recovery %s with %d events"
+            (result_kind rr) (verdict_kind v) (List.length evs)))
   in
   (* Rejection diagnostics must be non-empty and position-sane. *)
   match reference with

@@ -7,9 +7,14 @@ open Costar_grammar
 
 (** [Ok ()] when all engines agree and all side obligations hold;
     [Error msg] is a one-line human-readable violation report.  Pass
-    [turbo] to reuse a cached engine across a corpus. *)
+    [turbo] to reuse a cached engine across a corpus, and [recover] to
+    additionally drive the error-recovery lane: conservative on
+    well-formed input (bit-identical tree, no events), productive on
+    rejected input (error-marked partial tree with position-sane coded
+    diagnostics), measure-verified throughout. *)
 val run :
   ?turbo:Costar_turbo.Turbo.t ->
+  ?recover:Costar_recover.Recover.t ->
   Grammar.t ->
   Token.t list ->
   (unit, string) result

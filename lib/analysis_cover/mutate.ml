@@ -1,0 +1,93 @@
+open Costar_grammar
+
+type edit =
+  | Byte_flip of int
+  | Byte_insert of int
+  | Byte_delete of int
+  | Byte_truncate of int
+  | Token_delete of int
+  | Token_dup of int
+  | Token_swap of int
+  | Token_truncate of int
+
+let edit_to_string = function
+  | Byte_flip i -> Printf.sprintf "byte flip at offset %d" i
+  | Byte_insert i -> Printf.sprintf "byte insert at offset %d" i
+  | Byte_delete i -> Printf.sprintf "byte delete at offset %d" i
+  | Byte_truncate n -> Printf.sprintf "source truncated to %d bytes" n
+  | Token_delete i -> Printf.sprintf "deleted token %d" i
+  | Token_dup i -> Printf.sprintf "duplicated token %d" i
+  | Token_swap i -> Printf.sprintf "swapped tokens %d and %d" i (i + 1)
+  | Token_truncate n -> Printf.sprintf "input truncated to %d tokens" n
+
+type mutant =
+  | Source of string * edit
+  | Tokens of Token.t list * edit
+
+(* A mutated byte stays printable ASCII so lexers with narrow alphabets
+   exercise their error paths on plausible garbage rather than always
+   dying on byte 0. *)
+let random_byte rng = Char.chr (32 + Random.State.int rng 95)
+
+let splice s i n insert =
+  String.sub s 0 i ^ insert ^ String.sub s (i + n) (String.length s - i - n)
+
+let mutate_source rng s =
+  let n = String.length s in
+  match Random.State.int rng 4 with
+  | 0 ->
+    let i = Random.State.int rng n in
+    let c = Char.chr (Char.code s.[i] lxor (1 lsl Random.State.int rng 7)) in
+    (splice s i 1 (String.make 1 c), Byte_flip i)
+  | 1 ->
+    let i = Random.State.int rng (n + 1) in
+    (splice s i 0 (String.make 1 (random_byte rng)), Byte_insert i)
+  | 2 ->
+    let i = Random.State.int rng n in
+    (splice s i 1 "", Byte_delete i)
+  | _ ->
+    let k = Random.State.int rng n in
+    (String.sub s 0 k, Byte_truncate k)
+
+let mutate_tokens rng toks =
+  let n = List.length toks in
+  let drop_at i = List.filteri (fun j _ -> j <> i) toks in
+  let dup_at i =
+    List.concat_map
+      (fun (j, tok) -> if j = i then [ tok; tok ] else [ tok ])
+      (List.mapi (fun j tok -> (j, tok)) toks)
+  in
+  let swap_at i =
+    let arr = Array.of_list toks in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(i + 1);
+    arr.(i + 1) <- tmp;
+    Array.to_list arr
+  in
+  match Random.State.int rng (if n >= 2 then 4 else 3) with
+  | 0 ->
+    let i = Random.State.int rng n in
+    (drop_at i, Token_delete i)
+  | 1 ->
+    let i = Random.State.int rng n in
+    (dup_at i, Token_dup i)
+  | 2 ->
+    let k = Random.State.int rng n in
+    (List.filteri (fun j _ -> j < k) toks, Token_truncate k)
+  | _ ->
+    let i = Random.State.int rng (n - 1) in
+    (swap_at i, Token_swap i)
+
+let derive rng ~source ~tokens =
+  let have_bytes = String.length source > 0 in
+  let have_tokens = tokens <> [] in
+  let pick_bytes =
+    if have_bytes && have_tokens then Random.State.bool rng else have_bytes
+  in
+  if pick_bytes then
+    let s, e = mutate_source rng source in
+    Source (s, e)
+  else if have_tokens then
+    let toks, e = mutate_tokens rng tokens in
+    Tokens (toks, e)
+  else Source ("", Byte_truncate 0)

@@ -1,0 +1,37 @@
+(** Deterministic input mutators for the recovery fuzz gate.
+
+    Each mutator derives a malformed (or occasionally still-valid) variant
+    of a seed input: byte-level edits stress the scanner and the P004
+    path, token-level edits stress parse-time recovery (P001–P003).
+    Streams come from {!Costar_grammar.Rng}, so a (seed, index) pair
+    always derives the same mutant — the fuzz corpus is reproducible and
+    failures replay. *)
+
+open Costar_grammar
+
+(** What was done to the input, for failure reports ("byte flip at 17",
+    "deleted token 4", ...). *)
+type edit =
+  | Byte_flip of int
+  | Byte_insert of int
+  | Byte_delete of int
+  | Byte_truncate of int
+  | Token_delete of int
+  | Token_dup of int
+  | Token_swap of int
+  | Token_truncate of int
+
+val edit_to_string : edit -> string
+
+(** A derived input: either mutated source text (to be re-tokenized, and
+    allowed to fail the lexer) or a mutated token list (bypasses the
+    scanner, always reaches the parser). *)
+type mutant =
+  | Source of string * edit
+  | Tokens of Token.t list * edit
+
+(** [derive rng ~source ~tokens] draws one random mutant of the seed
+    input.  Byte-level and token-level edits are drawn with equal
+    probability when [tokens] is non-empty; an empty token list (or
+    empty source) restricts the menu to whatever stays well-defined. *)
+val derive : Random.State.t -> source:string -> tokens:Token.t list -> mutant

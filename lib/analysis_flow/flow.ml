@@ -315,6 +315,13 @@ let reachable t x = t.reachable_.(x)
 let productive t x = t.productive_.(x)
 let facts t = t.facts
 
+(* Whole-table views, indexed by interned nonterminal id: the recovery
+   engine grabs these once per parse instead of per-failure accessor
+   calls.  Shared storage — callers must not mutate. *)
+let first_all t = t.first
+let follow_all t = t.follow
+let sync_all t = t.sync_
+
 let first_set t x = Int_set.of_list (Bitset.elements t.first.(x))
 let follow_set t x = Int_set.of_list (Bitset.elements t.follow.(x))
 let sync_set t x = Int_set.of_list (Bitset.elements t.sync_.(x))

@@ -51,6 +51,17 @@ val sync : t -> nonterminal -> Bitset.t
 val reachable : t -> nonterminal -> bool
 val productive : t -> nonterminal -> bool
 
+(** {1 Whole-table exports}
+
+    Dense views indexed by interned nonterminal id, for consumers that
+    resolve sets per failure on a hot path (the error-recovery engine).
+    The arrays and their bitsets are the analysis' own storage — do not
+    mutate. *)
+
+val first_all : t -> Bitset.t array
+val follow_all : t -> Bitset.t array
+val sync_all : t -> Bitset.t array
+
 (** Total dataflow facts discovered (each fact is enqueued exactly once). *)
 val facts : t -> int
 

@@ -86,6 +86,18 @@ let registry =
     { code = "C004"; default_severity = D.Info;
       title = "ambiguous-only target: every covering sentence is ambiguous \
                and prediction commits to an earlier alternative" };
+    (* P-codes: parse-time diagnostics, emitted by `costar parse` and the
+       error-recovery engine (lib/recover) rather than static analysis. *)
+    { code = "P001"; default_severity = D.Error;
+      title = "unexpected token: the parser expected a different terminal \
+               (or had finished) at this position" };
+    { code = "P002"; default_severity = D.Error;
+      title = "unexpected end of input: the parse needed more tokens" };
+    { code = "P003"; default_severity = D.Error;
+      title = "no viable alternative: ALL(*) prediction rejected every \
+               right-hand side of the decision nonterminal" };
+    { code = "P004"; default_severity = D.Error;
+      title = "lexical error: the scanner could not tokenize the input" };
   ]
 
 let find_rule code = List.find_opt (fun r -> r.code = code) registry

@@ -92,7 +92,7 @@ let is_accepting cfg = Frames.spine_is_nil cfg.l_frames
    [len], starting at [i]); LL prediction is rare (SLL failover only), but
    it shares the machine's input representation so the fallback needs no
    list reconstruction. *)
-let predict_cursor g anl x conts kinds len i0 =
+let predict_cursor_ext g anl x conts kinds len i0 =
   let rec loop depth configs i =
     match preds_of_ll configs with
     | [] -> (Types.Reject_pred, depth)
@@ -109,14 +109,20 @@ let predict_cursor g anl x conts kinds len i0 =
         | Ok configs' -> loop (depth + 1) configs' (i + 1))
   in
   match closure g anl (init_configs g anl x conts) with
-  | Error e -> Types.Error_pred e
+  | Error e -> (Types.Error_pred e, 0)
   | Ok configs ->
     let result, depth = loop 0 configs i0 in
     Instr.record_ll x depth;
-    result
+    (result, depth)
+
+let predict_cursor g anl x conts kinds len i0 =
+  fst (predict_cursor_ext g anl x conts kinds len i0)
 
 let predict_word g anl x conts (w : Word.t) i =
   predict_cursor g anl x conts w.Word.kinds w.Word.len i
+
+let predict_word_ext g anl x conts (w : Word.t) i =
+  predict_cursor_ext g anl x conts w.Word.kinds w.Word.len i
 
 let predict g anl x conts tokens =
   predict_word g anl x conts (Word.of_tokens tokens) 0

@@ -44,3 +44,14 @@ val predict_word :
   Word.t ->
   int ->
   Types.prediction
+
+(** Like {!predict_word}, but additionally reports the lookahead depth at
+    which the verdict was reached (tokens examined past position [i]). *)
+val predict_word_ext :
+  Grammar.t ->
+  Analysis.t ->
+  nonterminal ->
+  symbol list list ->
+  Word.t ->
+  int ->
+  Types.prediction * int

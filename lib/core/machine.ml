@@ -18,9 +18,20 @@ type state = {
   unique : bool;
 }
 
+type fail_reason =
+  | Fail_mismatch of { expected : terminal; pos : int }
+  | Fail_eof of { expected : terminal }
+  | Fail_no_alt of { nt : nonterminal; pos : int; lookahead : int }
+  | Fail_trailing of { pos : int }
+
+type failure = {
+  reason : fail_reason;
+  message : string;
+}
+
 type step_result =
   | Step_accept of Tree.t
-  | Step_reject of string
+  | Step_reject of failure
   | Step_error of Types.error
   | Step_cont of state
 
@@ -96,14 +107,22 @@ let consume env st a suf =
     else
       let tok = Word.token st.word st.pos in
       Step_reject
-        (Printf.sprintf "expected '%s' but found '%s' (%S) %s"
-           (Grammar.terminal_name env.g a)
-           (safe_terminal_name env.g tok.Token.term)
-           tok.Token.lexeme (pos_msg st))
+        {
+          reason = Fail_mismatch { expected = a; pos = st.pos };
+          message =
+            Printf.sprintf "expected '%s' but found '%s' (%S) %s"
+              (Grammar.terminal_name env.g a)
+              (safe_terminal_name env.g tok.Token.term)
+              tok.Token.lexeme (pos_msg st);
+        }
   else
     Step_reject
-      (Printf.sprintf "expected '%s' but reached end of input"
-         (Grammar.terminal_name env.g a))
+      {
+        reason = Fail_eof { expected = a };
+        message =
+          Printf.sprintf "expected '%s' but reached end of input"
+            (Grammar.terminal_name env.g a);
+      }
 
 let push env st x suf =
   if Int_set.mem x st.visited then Step_error (Types.Left_recursive x)
@@ -112,9 +131,9 @@ let push env st x suf =
     (* Predict through the cache's own analysis, not [env.anl]: a supplied
        cache (precompiled, or built by the static analyzer) expresses its
        configurations in its own frame interner. *)
-    let cache, pred =
-      Predict.adaptive_predict_word env.g (Cache.analysis st.cache) st.cache x
-        conts st.word st.pos
+    let cache, pred, look =
+      Predict.adaptive_predict_word_ext env.g (Cache.analysis st.cache)
+        st.cache x conts st.word st.pos
     in
     let do_push ix unique =
       Instr.record_cov_prod ix;
@@ -135,9 +154,13 @@ let push env st x suf =
     | Types.Ambig_pred ix -> do_push ix false
     | Types.Reject_pred ->
       Step_reject
-        (Printf.sprintf "no viable alternative for %s %s"
-           (Costar_grammar.Names.nonterminal env.g x)
-           (pos_msg st))
+        {
+          reason = Fail_no_alt { nt = x; pos = st.pos; lookahead = look };
+          message =
+            Printf.sprintf "no viable alternative for %s %s"
+              (Costar_grammar.Names.nonterminal env.g x)
+              (pos_msg st);
+        }
     | Types.Error_pred e -> Step_error e
 
 let return_op st =
@@ -164,7 +187,11 @@ let return_op st =
 let finish env st =
   if st.pos < st.word.Word.len then
     Step_reject
-      (Printf.sprintf "parse finished with input remaining %s" (pos_msg st))
+      {
+        reason = Fail_trailing { pos = st.pos };
+        message =
+          Printf.sprintf "parse finished with input remaining %s" (pos_msg st);
+      }
   else
     match st.top with
     | { label = None; syms_rev = [ NT x ]; trees_rev = [ v ]; suf = [] }

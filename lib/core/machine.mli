@@ -31,9 +31,31 @@ type state = {
   unique : bool;  (** false once any prediction reported ambiguity *)
 }
 
+(** Why a step rejected — the structured arm the error-recovery layer
+    ({!Costar_recover.Recover}) dispatches on.  Every constructor carries
+    the input position the failure was detected at (absent for
+    [Fail_eof], where it is the end of input by definition). *)
+type fail_reason =
+  | Fail_mismatch of { expected : terminal; pos : int }
+      (** consume found a different terminal at [pos] *)
+  | Fail_eof of { expected : terminal }
+      (** consume ran off the end of the input *)
+  | Fail_no_alt of { nt : nonterminal; pos : int; lookahead : int }
+      (** prediction rejected every right-hand side of [nt]; [lookahead]
+          is the number of tokens examined past [pos] before rejecting *)
+  | Fail_trailing of { pos : int }
+      (** the stack emptied with input remaining at [pos] *)
+
+(** A recoverable rejection: the structured reason plus the rendered
+    message (exactly the string {!Parser.Reject} historically carried). *)
+type failure = {
+  reason : fail_reason;
+  message : string;
+}
+
 type step_result =
   | Step_accept of Tree.t
-  | Step_reject of string
+  | Step_reject of failure
   | Step_error of Types.error
   | Step_cont of state
 
@@ -59,6 +81,12 @@ val step : env -> state -> step_result
 
 (** Number of unconsumed tokens. *)
 val remaining : state -> int
+
+(** Human-readable description of the current input position ("at line L,
+    column C" / "at token ..." / "at end of input") — the phrase the
+    machine's own reject messages embed, exposed so the recovery layer can
+    render byte-identical messages. *)
+val pos_msg : state -> string
 
 (** Unconsumed tokens, materialized (traces, tests). *)
 val remaining_tokens : state -> Token.t list

@@ -58,7 +58,7 @@ let multistep env ~inspect st0 =
       (* The uniqueness flag of the state that produced the final tree
          decides the label (paper, §3.2). *)
       ((if st.Machine.unique then Unique v else Ambig v), st.Machine.cache)
-    | Machine.Step_reject msg -> (Reject msg, st.Machine.cache)
+    | Machine.Step_reject f -> (Reject f.Machine.message, st.Machine.cache)
     | Machine.Step_error e -> (Error e, st.Machine.cache)
   in
   go st0

@@ -42,3 +42,17 @@ val adaptive_predict_word :
   Word.t ->
   int ->
   Cache.t * Types.prediction
+
+(** Like {!adaptive_predict_word}, but additionally reports the lookahead
+    depth at which the verdict was reached (tokens examined past position
+    [i]; exact on [Reject_pred], which is what recovery diagnostics
+    consume). *)
+val adaptive_predict_word_ext :
+  Grammar.t ->
+  Analysis.t ->
+  Cache.t ->
+  nonterminal ->
+  (unit -> symbol list list) ->
+  Word.t ->
+  int ->
+  Cache.t * Types.prediction * int

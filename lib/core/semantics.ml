@@ -18,6 +18,8 @@ let eval g actions tree =
           (Malformed
              (Printf.sprintf "no production %s -> ... matches the node's children"
                 (Grammar.nonterminal_name g x))))
+    | Tree.Error _ ->
+      raise (Malformed "cannot evaluate a partial tree with error nodes")
   in
   match go tree with
   | v -> Ok v

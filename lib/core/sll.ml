@@ -208,13 +208,17 @@ let prepare ?(deep = false) g anl cache x =
         !cache
     end
 
-let predict_general g anl cache x kinds len i =
+let predict_general_ext g anl cache x kinds len i =
   match init g anl cache x with
-  | Error e -> (cache, Types.Error_pred e)
+  | Error e -> (cache, Types.Error_pred e, 0)
   | Ok (cache, sid) ->
     let cache, result, depth = loop g anl 0 cache sid kinds len i in
     Instr.record_sll x depth;
-    (cache, result)
+    (cache, result, depth)
+
+let predict_general g anl cache x kinds len i =
+  let cache, result, _depth = predict_general_ext g anl cache x kinds len i in
+  (cache, result)
 
 exception Fast_miss
 
@@ -253,6 +257,26 @@ let predict_cursor g anl cache x kinds len i =
 
 let predict_word g anl cache x (w : Word.t) i =
   predict_cursor g anl cache x w.Word.kinds w.Word.len i
+
+(* Like [predict_cursor], but also reports the lookahead depth at which the
+   verdict was reached.  The warm fast path cannot count (it walks preboxed
+   verdicts), so a fast-path reject re-walks the general loop — rejects are
+   cold by construction (each one ends the parse or triggers recovery), so
+   the re-walk never shows up on the hot path the allocation fences pin. *)
+let predict_cursor_ext g anl cache x kinds len i =
+  if !Instr.enabled || !Instr.cov_enabled then
+    predict_general_ext g anl cache x kinds len i
+  else
+    let sid0 = Cache.init_get cache x in
+    if sid0 < 0 then predict_general_ext g anl cache x kinds len i
+    else
+      match fast_verdict cache sid0 kinds len i with
+      | Types.Reject_pred -> predict_general_ext g anl cache x kinds len i
+      | p -> (cache, p, 0)
+      | exception Fast_miss -> predict_general_ext g anl cache x kinds len i
+
+let predict_word_ext g anl cache x (w : Word.t) i =
+  predict_cursor_ext g anl cache x w.Word.kinds w.Word.len i
 
 (* The legacy list API, as a thin wrapper over the cursor core. *)
 let predict g anl cache x tokens =

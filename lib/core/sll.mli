@@ -101,3 +101,18 @@ val predict_word :
   Word.t ->
   int ->
   Cache.t * Types.prediction
+
+(** Like {!predict_word}, but additionally reports the lookahead depth at
+    which the verdict was reached (tokens examined past position [i]).
+    The depth is exact whenever the verdict is [Reject_pred] or the general
+    loop ran (cold cache, instrumentation); on the warm fast path a decided
+    verdict reports depth 0 — callers that need depth for diagnostics only
+    need it on rejects, where it is always exact. *)
+val predict_word_ext :
+  Grammar.t ->
+  Analysis.t ->
+  Cache.t ->
+  nonterminal ->
+  Word.t ->
+  int ->
+  Cache.t * Types.prediction * int

@@ -9,6 +9,7 @@ let rec well_formed g v =
     | Some _ -> true
     | None -> false)
     && List.for_all (well_formed g) kids
+  | Tree.Error _ -> false
 
 let rec tokens_equal w1 w2 =
   match w1, w2 with

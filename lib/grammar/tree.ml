@@ -3,18 +3,26 @@ open Symbols
 type t =
   | Leaf of Token.t
   | Node of nonterminal * t list
+  | Error of symbol option * t list
 
 type forest = t list
 
 let root = function
   | Leaf tok -> T tok.Token.term
   | Node (x, _) -> NT x
+  | Error (Some s, _) -> s
+  | Error (None, _) -> invalid_arg "Tree.root: skipped-input error node"
+
+let rec has_errors = function
+  | Leaf _ -> false
+  | Node (_, kids) -> List.exists has_errors kids
+  | Error _ -> true
 
 let yield v =
   (* Accumulator-based to stay tail-ish on deep trees. *)
   let rec go acc = function
     | Leaf tok -> tok :: acc
-    | Node (_, kids) -> List.fold_left go acc kids
+    | Node (_, kids) | Error (_, kids) -> List.fold_left go acc kids
   in
   List.rev (go [] v)
 
@@ -22,27 +30,34 @@ let yield_forest f = List.concat_map yield f
 
 let rec size = function
   | Leaf _ -> 1
-  | Node (_, kids) -> 1 + List.fold_left (fun acc k -> acc + size k) 0 kids
+  | Node (_, kids) | Error (_, kids) ->
+    1 + List.fold_left (fun acc k -> acc + size k) 0 kids
 
 let rec depth = function
   | Leaf _ -> 1
-  | Node (_, kids) ->
+  | Node (_, kids) | Error (_, kids) ->
     1 + List.fold_left (fun acc k -> max acc (depth k)) 0 kids
 
 let rec width = function
   | Leaf _ -> 1
-  | Node (_, kids) -> List.fold_left (fun acc k -> acc + width k) 0 kids
+  | Node (_, kids) | Error (_, kids) ->
+    List.fold_left (fun acc k -> acc + width k) 0 kids
+
+(* Constructor order for [compare]: Leaf < Node < Error. *)
+let ctor_rank = function Leaf _ -> 0 | Node _ -> 1 | Error _ -> 2
 
 let rec compare v1 v2 =
   match v1, v2 with
   | Leaf t1, Leaf t2 ->
     let c = Int.compare t1.Token.term t2.Token.term in
     if c <> 0 then c else String.compare t1.Token.lexeme t2.Token.lexeme
-  | Leaf _, Node _ -> -1
-  | Node _, Leaf _ -> 1
   | Node (x1, k1), Node (x2, k2) ->
     let c = Int.compare x1 x2 in
     if c <> 0 then c else compare_forest k1 k2
+  | Error (s1, k1), Error (s2, k2) ->
+    let c = Option.compare compare_symbol s1 s2 in
+    if c <> 0 then c else compare_forest k1 k2
+  | (Leaf _ | Node _ | Error _), _ -> Int.compare (ctor_rank v1) (ctor_rank v2)
 
 and compare_forest f1 f2 =
   match f1, f2 with
@@ -59,6 +74,11 @@ let nonterminals v =
   let rec go acc = function
     | Leaf _ -> acc
     | Node (x, kids) -> List.fold_left go (Int_set.add x acc) kids
+    | Error (at, kids) ->
+      let acc =
+        match at with Some (NT x) -> Int_set.add x acc | _ -> acc
+      in
+      List.fold_left go acc kids
   in
   go Int_set.empty v
 
@@ -67,6 +87,15 @@ let rec pp g ppf = function
   | Node (x, kids) ->
     Fmt.pf ppf "@[<hov 1>(%s%a)@]"
       (Grammar.nonterminal_name g x)
+      Fmt.(list ~sep:nop (fun ppf k -> Fmt.pf ppf "@ %a" (pp g) k))
+      kids
+  | Error (at, kids) ->
+    let label =
+      match at with
+      | None -> "ERROR"
+      | Some s -> "ERROR:" ^ Grammar.symbol_name g s
+    in
+    Fmt.pf ppf "@[<hov 1>(%s%a)@]" label
       Fmt.(list ~sep:nop (fun ppf k -> Fmt.pf ppf "@ %a" (pp g) k))
       kids
 
@@ -92,6 +121,21 @@ let to_dot g v =
       Buffer.add_string buf
         (Printf.sprintf "  n%d [label=\"%s\"];\n" id
            (escape (Grammar.nonterminal_name g x)));
+      List.iter
+        (fun k ->
+          let kid = go k in
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" id kid))
+        kids
+    | Error (at, kids) ->
+      let label =
+        match at with
+        | None -> "ERROR"
+        | Some s -> "ERROR: " ^ Grammar.symbol_name g s
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  n%d [label=\"%s\", shape=diamond, color=red];\n" id
+           (escape label));
       List.iter
         (fun k ->
           let kid = go k in

@@ -1,0 +1,499 @@
+open Costar_grammar
+open Costar_grammar.Symbols
+module M = Costar_core.Machine
+module P = Costar_core.Parser
+module Measure = Costar_core.Measure
+module Types = Costar_core.Types
+module Flow = Costar_flow.Flow
+module Bitset = Costar_flow.Bitset
+module D = Costar_lint.Diagnostic
+module Loc = Costar_grammar.Loc
+
+type repair =
+  | Inserted of terminal
+  | Deleted
+  | Dropped of symbol
+  | Skipped of { tokens : int; popped : int }
+  | Closed of { popped : int }
+  | Gave_up of { tokens : int; popped : int }
+
+type event = {
+  diag : D.t;
+  repair : repair;
+  at : int;
+  consumed : int;
+}
+
+type verdict =
+  | Recovered of Tree.t
+  | Recovered_ambig of Tree.t
+  | Fatal of Types.error
+
+type outcome = {
+  verdict : verdict;
+  events : event list;
+}
+
+type t = {
+  p : P.t;
+  flow : Flow.t;
+}
+
+let make p = { p; flow = Flow.make (P.grammar p) }
+let parser_of t = t.p
+let diagnostics o = List.map (fun e -> e.diag) o.events
+
+(* --- Spans -------------------------------------------------------------- *)
+
+(* Position just past a token: its start advanced over the lexeme
+   (newlines included, so multi-line lexemes span correctly).  Tokens
+   from the list pipeline may have no position (line 0) — those yield
+   dummy spans, like every other position-less construct. *)
+let token_end (tok : Token.t) =
+  let line = ref tok.Token.line and col = ref tok.Token.col in
+  String.iter
+    (fun c ->
+      if c = '\n' then begin
+        incr line;
+        col := 0
+      end
+      else incr col)
+    tok.Token.lexeme;
+  (!line, !col)
+
+(* Span of the token range [i, i+n) — [n = 0] is the point just before
+   token [i] (or past the last token, for end-of-input diagnostics). *)
+let span_of_range (w : Word.t) i n =
+  if w.Word.len = 0 then Loc.dummy
+  else if n = 0 then begin
+    let anchor = min (max 0 (i - 1)) (w.Word.len - 1) in
+    let tok = Word.token w anchor in
+    if tok.Token.line = 0 then Loc.dummy
+    else if i = 0 then Loc.point tok.Token.line tok.Token.col
+    else
+      let line, col = token_end tok in
+      Loc.point line col
+  end
+  else begin
+    let first = Word.token w i in
+    let last = Word.token w (min (i + n - 1) (w.Word.len - 1)) in
+    if first.Token.line = 0 then Loc.dummy
+    else
+      let end_line, end_col = token_end last in
+      Loc.make ~start_line:first.Token.line ~start_col:first.Token.col
+        ~end_line ~end_col
+  end
+
+(* --- Diagnostics -------------------------------------------------------- *)
+
+let max_expected_names = 8
+
+let expected_note g flow x =
+  let names = List.map (Names.terminal g) (Bitset.elements (Flow.first flow x)) in
+  match names with
+  | [] -> "the decision nonterminal derives no terminal word"
+  | _ ->
+    let shown, rest =
+      if List.length names <= max_expected_names then (names, 0)
+      else
+        ( List.filteri (fun i _ -> i < max_expected_names) names,
+          List.length names - max_expected_names )
+    in
+    Printf.sprintf "expected one of: %s%s"
+      (String.concat ", " (List.map (fun n -> "'" ^ n ^ "'") shown))
+      (if rest = 0 then "" else Printf.sprintf " (and %d more)" rest)
+
+let repair_note g = function
+  | Inserted a ->
+    Printf.sprintf "recovery: inserted a missing '%s'" (Names.terminal g a)
+  | Deleted -> "recovery: deleted this token"
+  | Dropped s ->
+    Printf.sprintf "recovery: gave up on %s here" (Names.symbol g s)
+  | Skipped { tokens; popped } ->
+    Printf.sprintf "recovery: skipped %d token%s%s" tokens
+      (if tokens = 1 then "" else "s")
+      (if popped = 0 then ""
+       else
+         Printf.sprintf " after closing %d open production%s" popped
+           (if popped = 1 then "" else "s"))
+  | Closed { popped } ->
+    Printf.sprintf "recovery: closed %d open production%s at end of input"
+      popped
+      (if popped = 1 then "" else "s")
+  | Gave_up { tokens; popped } ->
+    Printf.sprintf
+      "recovery: error limit reached; abandoned the remaining %d token%s (%d \
+       open production%s)"
+      tokens
+      (if tokens = 1 then "" else "s")
+      popped
+      (if popped = 1 then "" else "s")
+
+(* The P-code for a structured machine failure.  [Fail_mismatch] and
+   [Fail_trailing] are both "unexpected token" (P001); running out of
+   input is P002; a prediction reject is P003. *)
+let code_of_reason = function
+  | M.Fail_mismatch _ | M.Fail_trailing _ -> "P001"
+  | M.Fail_eof _ -> "P002"
+  | M.Fail_no_alt _ -> "P003"
+
+let diag_of_failure t ~file (st : M.state) (f : M.failure) repair =
+  let g = P.grammar t.p in
+  let span =
+    match f.M.reason with
+    | M.Fail_eof _ -> span_of_range st.M.word st.M.word.Word.len 0
+    | M.Fail_mismatch { pos; _ } | M.Fail_trailing { pos } ->
+      span_of_range st.M.word pos 1
+    | M.Fail_no_alt { pos; _ } ->
+      if pos >= st.M.word.Word.len then span_of_range st.M.word pos 0
+      else span_of_range st.M.word pos 1
+  in
+  let notes =
+    (match f.M.reason with
+    | M.Fail_no_alt { nt; lookahead; _ } ->
+      expected_note g t.flow nt
+      ::
+      (if lookahead > 1 then
+         [ Printf.sprintf "prediction examined %d tokens of lookahead"
+             lookahead ]
+       else [])
+    | _ -> [])
+    @ [ repair_note g repair ]
+  in
+  D.make ~severity:D.Error ?file ~span ~notes (code_of_reason f.M.reason)
+    f.M.message
+
+(* P004: scanner failures, re-parsed from the rendered message so the CLI
+   can route every failure kind through one renderer (the scanner API
+   reports strings at its public boundary). *)
+let lex_diag ?file msg =
+  let span =
+    try
+      Scanf.sscanf msg "lexical error at line %d, column %d" (fun l c ->
+          Loc.point l c)
+    with Scanf.Scan_failure _ | End_of_file | Failure _ -> Loc.dummy
+  in
+  D.make ~severity:D.Error ?file ~span "P004" msg
+
+(* --- State surgery ------------------------------------------------------ *)
+
+(* A synthesized terminal: the machine would have consumed [T a]; instead
+   an empty [Error] marker stands in for the missing token.  No input is
+   consumed, so [visited] is deliberately kept — the left-recursion
+   guard must keep protecting the non-consuming segment. *)
+let apply_insert (st : M.state) a =
+  match st.M.top.M.suf with
+  | T a' :: suf when a' = a ->
+    {
+      st with
+      M.top =
+        {
+          st.M.top with
+          M.syms_rev = T a :: st.M.top.M.syms_rev;
+          M.trees_rev = Tree.Error (Some (T a), []) :: st.M.top.M.trees_rev;
+          M.suf = suf;
+        };
+    }
+  | _ -> invalid_arg "Recover.apply_insert: head of suffix is not the terminal"
+
+(* Drop the undrivable head symbol (a nonterminal prediction gave up on):
+   an empty [Error] marker records the hole. *)
+let apply_drop (st : M.state) =
+  match st.M.top.M.suf with
+  | s :: suf ->
+    {
+      st with
+      M.top =
+        {
+          st.M.top with
+          M.syms_rev = s :: st.M.top.M.syms_rev;
+          M.trees_rev = Tree.Error (Some s, []) :: st.M.top.M.trees_rev;
+          M.suf = suf;
+        };
+    }
+  | [] -> invalid_arg "Recover.apply_drop: empty suffix"
+
+(* Skip [n >= 1] input tokens into one [Error (None, leaves)] wrapper.
+   Consuming input resets [visited], exactly like a machine consume. *)
+let apply_skip (st : M.state) n =
+  let leaves =
+    List.init n (fun k -> Tree.Leaf (Word.token st.M.word (st.M.pos + k)))
+  in
+  {
+    st with
+    M.top =
+      { st.M.top with M.trees_rev = Tree.Error (None, leaves) :: st.M.top.M.trees_rev };
+    M.pos = st.M.pos + n;
+    M.visited = Int_set.empty;
+  }
+
+(* Pop [d] frames, closing each as an [Error (Some (NT x), partial kids)]
+   node in its caller — the recovery analogue of the machine's return
+   operation (including the visited-set removal). *)
+let rec apply_pops (st : M.state) d =
+  if d = 0 then st
+  else
+    match st.M.frames, st.M.top.M.label with
+    | caller :: frames, Some x ->
+      let node = Tree.Error (Some (NT x), List.rev st.M.top.M.trees_rev) in
+      apply_pops
+        {
+          st with
+          M.top =
+            {
+              caller with
+              M.syms_rev = NT x :: caller.M.syms_rev;
+              M.trees_rev = node :: caller.M.trees_rev;
+            };
+          M.frames;
+          M.visited = Int_set.remove x st.M.visited;
+        }
+        (d - 1)
+    | _ -> invalid_arg "Recover.apply_pops: cannot pop the bottom frame"
+
+(* Unwind everything: close every open frame and drop the unprocessed
+   suffix of the bottom frame.  After this the stack is empty and the
+   driver's finalizer runs. *)
+let apply_unwind (st : M.state) =
+  let st = apply_pops st (List.length st.M.frames) in
+  { st with M.top = { st.M.top with M.suf = [] } }
+
+(* --- Progress trials ---------------------------------------------------- *)
+
+(* Run the machine forward a bounded number of steps and report whether
+   the repair provably makes progress: a real token is consumed, or the
+   parse finishes cleanly at end of input.  Between two consumes the
+   machine performs at most |stack| returns and |nonterminals| pushes
+   (the visited guard), so the budget below covers every genuine
+   success; rejects, errors, and budget exhaustion fail the trial. *)
+let trial env (st0 : M.state) =
+  let g = env.M.g in
+  let budget = M.height st0 + (2 * Grammar.num_nonterminals g) + 8 in
+  let pos0 = st0.M.pos in
+  let rec go st n =
+    if st.M.pos > pos0 then true
+    else if st.M.top.M.suf = [] && st.M.frames = [] then
+      st.M.pos >= st.M.word.Word.len
+    else if n = 0 then false
+    else
+      match M.step env st with
+      | M.Step_cont st' -> go st' (n - 1)
+      | M.Step_accept _ -> true
+      | M.Step_reject _ | M.Step_error _ -> false
+  in
+  go st0 budget
+
+(* --- Panic-mode resynchronization --------------------------------------- *)
+
+(* Resume vocabulary per pop depth [d]: FIRST of the suffix the stack
+   would resume at, extended — when that suffix can vanish — with the
+   sync/anchor set (FIRST ∪ FOLLOW) of the frame's own nonterminal, the
+   Coco/R recipe over the Flow-precomputed tables. *)
+let resume_sets t (st : M.state) =
+  let flow = t.flow in
+  let frames = Array.of_list (st.M.top :: st.M.frames) in
+  Array.map
+    (fun (f : M.frame) ->
+      let r = Flow.first_seq flow f.M.suf in
+      (if Flow.nullable_seq flow f.M.suf then
+         match f.M.label with
+         | Some x -> ignore (Bitset.union_into ~into:r (Flow.sync flow x))
+         | None -> ());
+      r)
+    frames
+
+(* Find the nearest (skip, pop) repair: the smallest number of skipped
+   tokens [s], then the fewest popped frames [d], such that the token at
+   [pos + s] is in the resume set of depth [d].  (0, 0) is excluded —
+   it is the configuration that just failed.  [None] means no token
+   resynchronizes: skip to end of input and unwind. *)
+let find_resync (r : Bitset.t array) (st : M.state) =
+  let kinds = st.M.word.Word.kinds in
+  let len = st.M.word.Word.len in
+  let n = Array.length r in
+  let find_d a min_d =
+    let rec go d = if d >= n then None else if Bitset.mem r.(d) a then Some d else go (d + 1) in
+    go min_d
+  in
+  let rec scan s =
+    if st.M.pos + s >= len then None
+    else
+      let a = Bigarray.Array1.get kinds (st.M.pos + s) in
+      match find_d a (if s = 0 then 1 else 0) with
+      | Some d -> Some (s, d)
+      | None -> scan (s + 1)
+  in
+  scan 0
+
+(* --- The driver --------------------------------------------------------- *)
+
+let run_state t ~file ~max_errors ~verify_measure st0 =
+  let env = P.env t.p in
+  let g = P.grammar t.p in
+  let start = Grammar.start g in
+  let events = ref [] in
+  let emit diag repair ~at ~consumed =
+    events := { diag; repair; at; consumed } :: !events
+  in
+  let last_meas = ref (if verify_measure then Some (Measure.meas g st0) else None) in
+  let check_decrease what st =
+    match !last_meas with
+    | None -> ()
+    | Some m0 ->
+      let m1 = Measure.meas g st in
+      if Measure.compare m1 m0 >= 0 then
+        failwith
+          (Fmt.str
+             "Recover: %s did not decrease the termination measure (%a -> %a)"
+             what Measure.pp m0 Measure.pp m1);
+      last_meas := Some m1
+  in
+  (* Close out an empty-stack state: the machine's finish rule, made
+     total.  The clean shape accepts the very tree the plain engine
+     would (bit-identical); anything else is wrapped in a root error
+     node.  Trailing input at an empty stack is itself a failure, so it
+     is diagnosed and skipped first. *)
+  let rec finalize (st : M.state) n_errors =
+    if st.M.pos < st.M.word.Word.len then begin
+      let remaining = st.M.word.Word.len - st.M.pos in
+      let failure =
+        {
+          M.reason = M.Fail_trailing { pos = st.M.pos };
+          M.message =
+            Printf.sprintf "parse finished with input remaining %s"
+              (M.pos_msg st);
+        }
+      in
+      let repair = Skipped { tokens = remaining; popped = 0 } in
+      emit (diag_of_failure t ~file st failure repair) repair ~at:st.M.pos
+        ~consumed:remaining;
+      let st' = apply_skip st remaining in
+      check_decrease "trailing-input skip" st';
+      finalize st' (n_errors + 1)
+    end
+    else
+      let tree =
+        match st.M.top with
+        | { M.label = None; M.syms_rev = [ NT x ]; M.trees_rev = [ v ]; M.suf = [] }
+          when x = start ->
+          v
+        | top -> Tree.Error (Some (NT start), List.rev top.M.trees_rev)
+      in
+      let verdict =
+        if st.M.unique then Recovered tree else Recovered_ambig tree
+      in
+      ({ verdict; events = List.rev !events }, st.M.cache)
+  (* One failure, one repair.  Every branch either returns a state whose
+     measure strictly decreased or stops the parse. *)
+  and recover (st : M.state) (f : M.failure) n_errors =
+    let commit what repair ~consumed st' =
+      emit (diag_of_failure t ~file st f repair) repair
+        ~at:
+          (match f.M.reason with
+          | M.Fail_mismatch { pos; _ }
+          | M.Fail_no_alt { pos; _ }
+          | M.Fail_trailing { pos } ->
+            pos
+          | M.Fail_eof _ -> st.M.word.Word.len)
+        ~consumed;
+      check_decrease what st';
+      st'
+    in
+    let panic () =
+      let r = resume_sets t st in
+      match find_resync r st with
+      | Some (s, d) ->
+        let st' = apply_pops st d in
+        let st' = if s > 0 then apply_skip st' s else st' in
+        commit "panic resync" (Skipped { tokens = s; popped = d }) ~consumed:s
+          st'
+      | None ->
+        (* No resynchronization point: consume everything and close. *)
+        let remaining = st.M.word.Word.len - st.M.pos in
+        let popped = List.length st.M.frames in
+        let st' = if remaining > 0 then apply_skip st remaining else st in
+        let st' = apply_unwind st' in
+        if remaining > 0 then
+          commit "skip-to-eof" (Skipped { tokens = remaining; popped })
+            ~consumed:remaining st'
+        else commit "unwind" (Closed { popped }) ~consumed:0 st'
+    in
+    if n_errors >= max_errors then begin
+      let remaining = st.M.word.Word.len - st.M.pos in
+      let popped = List.length st.M.frames in
+      let st' = if remaining > 0 then apply_skip st remaining else st in
+      let st' = apply_unwind st' in
+      commit "give-up" (Gave_up { tokens = remaining; popped })
+        ~consumed:remaining st'
+    end
+    else
+      match f.M.reason with
+      | M.Fail_mismatch { expected; _ } ->
+        let inserted = apply_insert st expected in
+        if trial env inserted then
+          commit "insertion" (Inserted expected) ~consumed:0 inserted
+        else
+          let deleted = apply_skip st 1 in
+          if trial env deleted then commit "deletion" Deleted ~consumed:1 deleted
+          else panic ()
+      | M.Fail_no_alt _ ->
+        if st.M.pos >= st.M.word.Word.len then begin
+          (* Prediction starved at end of input: closing the stack is the
+             only move. *)
+          let popped = List.length st.M.frames in
+          commit "eof unwind" (Closed { popped }) ~consumed:0 (apply_unwind st)
+        end
+        else begin
+          let deleted = apply_skip st 1 in
+          if trial env deleted then commit "deletion" Deleted ~consumed:1 deleted
+          else
+            let dropped = apply_drop st in
+            if trial env dropped then
+              commit "symbol drop"
+                (Dropped (List.hd st.M.top.M.suf))
+                ~consumed:0 dropped
+            else panic ()
+        end
+      | M.Fail_eof _ ->
+        let popped = List.length st.M.frames in
+        commit "eof unwind" (Closed { popped }) ~consumed:0 (apply_unwind st)
+      | M.Fail_trailing _ ->
+        (* Unreachable from the driver (empty-stack states go straight to
+           [finalize]), but total anyway. *)
+        let remaining = st.M.word.Word.len - st.M.pos in
+        commit "trailing skip" (Skipped { tokens = remaining; popped = 0 })
+          ~consumed:remaining (apply_skip st remaining)
+  and drive st n_errors =
+    if st.M.top.M.suf = [] && st.M.frames = [] then finalize st n_errors
+    else
+      match M.step env st with
+      | M.Step_cont st' ->
+        check_decrease "machine step" st';
+        drive st' n_errors
+      | M.Step_accept v ->
+        (* Only reachable through [Machine.finish], which the empty-stack
+           check above intercepts; kept total for safety. *)
+        ( {
+            verdict = (if st.M.unique then Recovered v else Recovered_ambig v);
+            events = List.rev !events;
+          },
+          st.M.cache )
+      | M.Step_error e ->
+        ({ verdict = Fatal e; events = List.rev !events }, st.M.cache)
+      | M.Step_reject f -> drive (recover st f n_errors) (n_errors + 1)
+  in
+  drive st0 0
+
+let run_with_cache_word ?file ?(max_errors = 100) ?(verify_measure = false) t
+    cache word =
+  let env = P.env t.p in
+  run_state t ~file ~max_errors ~verify_measure
+    (M.init_word env ~cache word)
+
+let run_word ?file ?max_errors ?verify_measure t word =
+  fst
+    (run_with_cache_word ?file ?max_errors ?verify_measure t
+       (P.base_cache t.p) word)
+
+let run ?file ?max_errors ?verify_measure t tokens =
+  run_word ?file ?max_errors ?verify_measure t (Word.of_tokens tokens)

@@ -1,0 +1,5 @@
+import os
+from sys import argv as args
+
+with process(["nus" // z.get]) as count:
+    assert items[55]

@@ -1,0 +1,9 @@
+import os
+from sys import argv as args
+
+return "mlyublyh" + []
+class Ci:
+    def scan(self):
+        result = not total - data.size
+        scan(update() <= z)
+

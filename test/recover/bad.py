@@ -1,0 +1,2 @@
+if x
+    y = 1

@@ -14,6 +14,7 @@ let rec convert g = function
     E.Leaf (Grammar.terminal_name g tok.Token.term, tok.Token.lexeme)
   | Tree.Node (x, kids) ->
     E.Node (Grammar.nonterminal_name g x, List.map (convert g) kids)
+  | Tree.Error _ -> Alcotest.fail "plain engine produced an error node"
 
 let same g core extracted =
   match core, extracted with

@@ -1,0 +1,250 @@
+(* The error-recovery engine's hard obligations (DESIGN.md §14):
+
+   - Conservativity: with recovery enabled, a well-formed input yields a
+     bit-identical tree, an empty event list, and an identical DFA-cache
+     evolution — the engine drives the very same machine steps.
+   - Productivity: a rejected input yields a partial tree with explicit
+     error nodes and at least one coded, span-sane diagnostic.
+   - Termination: every machine step and every committed repair strictly
+     decreases the extended §4 measure ([~verify_measure:true] raises on
+     any violation, so these tests double as the no-hang gate).
+
+   Checked differentially over the four built-in languages' generated
+   corpora, over 500 random grammars with mixed valid/invalid words, and
+   as QCheck span/ordering properties over deterministic mutants. *)
+
+open Costar_grammar
+module P = Costar_core.Parser
+module Cache = Costar_core.Cache
+module R = Costar_recover.Recover
+module D = Costar_lint.Diagnostic
+module Mutate = Costar_cover.Mutate
+module Lang = Costar_langs.Lang
+
+let langs = Costar_langs.Registry.all
+
+(* One clean-input comparison: plain engine vs recovery engine, each from
+   its own fresh cache, demanding identical trees and identical cache
+   growth. *)
+let check_conservative ?(what = "input") p eng word =
+  let anl = P.analysis p in
+  let plain, c1 =
+    P.run_with_cache_word p (Cache.create anl) word
+  in
+  let o, c2 =
+    R.run_with_cache_word ~verify_measure:true eng (Cache.create anl) word
+  in
+  (match (plain, o.R.verdict) with
+  | P.Unique t1, R.Recovered t2 | P.Ambig t1, R.Recovered_ambig t2 ->
+    if o.R.events <> [] then
+      Alcotest.failf "%s: clean parse produced %d recovery events" what
+        (List.length o.R.events);
+    if not (Tree.equal t1 t2) then
+      Alcotest.failf "%s: recovery tree differs from the plain tree" what
+  | P.Reject _, _ | _, R.Fatal _ | P.Error _, _ ->
+    Alcotest.failf "%s: expected a clean parse" what
+  | _ ->
+    Alcotest.failf "%s: verdict mismatch on a clean parse" what);
+  if
+    Cache.num_states c1 <> Cache.num_states c2
+    || Cache.num_transitions c1 <> Cache.num_transitions c2
+  then
+    Alcotest.failf
+      "%s: cache evolution differs (plain %d states/%d transitions, \
+       recovery %d/%d)"
+      what (Cache.num_states c1)
+      (Cache.num_transitions c1)
+      (Cache.num_states c2)
+      (Cache.num_transitions c2)
+
+(* --- Built-in language corpora ------------------------------------------ *)
+
+let test_corpus_conservative () =
+  List.iter
+    (fun l ->
+      let p = P.make (Lang.grammar l) in
+      let eng = R.make p in
+      List.iter
+        (fun (seed, size) ->
+          let src = Lang.generate l ~seed ~size in
+          let toks = Lang.tokenize_exn l src in
+          check_conservative
+            ~what:(Printf.sprintf "%s seed=%d size=%d" l.Lang.name seed size)
+            p eng (Word.of_tokens toks))
+        [ (0, 5); (1, 20); (2, 40); (3, 80); (4, 10) ])
+    langs
+
+(* Deterministic mutants of each language's corpus: rejected ones must
+   recover with diagnostics; accepted ones must stay conservative. *)
+let test_corpus_mutants () =
+  List.iter
+    (fun l ->
+      let g = Lang.grammar l in
+      let p = P.make g in
+      let eng = R.make p in
+      let source = Lang.generate l ~seed:0 ~size:30 in
+      let tokens = Lang.tokenize_exn l source in
+      let rejected = ref 0 in
+      for k = 0 to 199 do
+        let rng = Rng.split 42 k in
+        let toks' =
+          match Mutate.derive rng ~source ~tokens with
+          | Mutate.Tokens (toks', _) -> Some toks'
+          | Mutate.Source (s, _) -> (
+            match Lang.tokenize l s with Ok t -> Some t | Error _ -> None)
+        in
+        match toks' with
+        | None -> () (* lexical rejection: P004 is the CLI's concern *)
+        | Some toks' -> (
+          let word = Word.of_tokens toks' in
+          match P.run_word p word with
+          | P.Unique _ | P.Ambig _ -> check_conservative p eng word
+          | P.Error _ -> ()
+          | P.Reject _ -> (
+            incr rejected;
+            let o = R.run_word ~verify_measure:true eng word in
+            match o.R.verdict with
+            | R.Fatal _ ->
+              Alcotest.failf "%s mutant %d: recovery was Fatal on a Reject"
+                l.Lang.name k
+            | R.Recovered t | R.Recovered_ambig t ->
+              if o.R.events = [] then
+                Alcotest.failf "%s mutant %d: rejected input, no events"
+                  l.Lang.name k;
+              if not (Tree.has_errors t) then
+                Alcotest.failf
+                  "%s mutant %d: partial tree has no error nodes" l.Lang.name
+                  k;
+              List.iter
+                (fun (e : R.event) ->
+                  if e.R.diag.D.message = "" then
+                    Alcotest.failf "%s mutant %d: empty diagnostic"
+                      l.Lang.name k)
+                o.R.events))
+      done;
+      if !rejected = 0 then
+        Alcotest.failf "%s: no mutant was rejected (mutators too tame?)"
+          l.Lang.name)
+    langs
+
+(* --- Random grammars ----------------------------------------------------- *)
+
+(* Recovery-on ≡ recovery-off over random grammars and mixed valid/invalid
+   words: conservativity on accepts, productivity on rejects, Fatal only
+   where the plain engine errors. *)
+let prop_random_grammars =
+  QCheck.Test.make ~count:500 ~name:"recovery-on ≡ recovery-off (random)"
+    Util.arb_grammar_word (fun (g, w) ->
+      let word = Word.of_tokens (Grammar.tokens g w) in
+      let p = P.make g in
+      let eng = R.make p in
+      match Left_recursion.check g with
+      | Error _ -> (
+        (* Left-recursive grammar: repairs may legitimately steer the
+           machine into its left-recursion guard (Fatal), so only demand
+           totality — no exception, and events whenever a partial tree
+           comes back on a reject. *)
+        match (P.run_word p word, (R.run_word eng word).R.verdict) with
+        | (P.Unique _ | P.Ambig _), (R.Recovered _ | R.Recovered_ambig _) ->
+          check_conservative p eng word;
+          true
+        | P.Reject _, (R.Recovered t | R.Recovered_ambig t) ->
+          Tree.has_errors t
+        | _, R.Fatal _ -> true
+        | _ -> false)
+      | Ok () -> (
+        match P.run_word p word with
+        | P.Unique _ | P.Ambig _ ->
+          check_conservative p eng word;
+          true
+        | P.Error _ -> false (* Thm 5.8: unreachable for non-LR grammars *)
+        | P.Reject _ -> (
+          let o = R.run_word ~verify_measure:true eng word in
+          match o.R.verdict with
+          | R.Fatal _ -> false
+          | R.Recovered t | R.Recovered_ambig t ->
+            o.R.events <> [] && Tree.has_errors t
+            && Tree.yield t = Word.to_tokens word)))
+
+(* --- Span and ordering properties ---------------------------------------- *)
+
+(* Events over real (positioned) inputs: spans lie inside the input (or
+   are dummy), event token ranges are in order, non-overlapping, and
+   within bounds. *)
+let prop_spans =
+  QCheck.Test.make ~count:300 ~name:"diagnostic spans lie inside the input"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 2))
+    (fun (seed, li) ->
+      let l = List.nth langs (li mod List.length langs) in
+      let source = Lang.generate l ~seed:(seed mod 7) ~size:15 in
+      let tokens = Lang.tokenize_exn l source in
+      let rng = Rng.split 7 seed in
+      match Mutate.derive rng ~source ~tokens with
+      | Mutate.Source _ -> true (* byte mutants may not lex; covered above *)
+      | Mutate.Tokens (toks', _) ->
+        let eng = R.make (P.make (Lang.grammar l)) in
+        let o = R.run ~verify_measure:true eng toks' in
+        let len = List.length toks' in
+        let max_line =
+          List.fold_left (fun m t -> max m t.Token.line) 1 toks'
+        in
+        let span_ok (d : D.t) =
+          Loc.is_dummy d.D.span
+          || d.D.span.Loc.start_line >= 1
+             && d.D.span.Loc.end_line <= max_line + 1
+             && d.D.span.Loc.start_col >= 0
+             && Loc.compare d.D.span d.D.span = 0
+             && (d.D.span.Loc.start_line < d.D.span.Loc.end_line
+                || d.D.span.Loc.start_col <= d.D.span.Loc.end_col)
+        in
+        let rec ranges_ok last = function
+          | [] -> true
+          | (e : R.event) :: rest ->
+            e.R.at >= last && e.R.consumed >= 0
+            && e.R.at + e.R.consumed <= len
+            && ranges_ok (e.R.at + e.R.consumed) rest
+        in
+        List.for_all (fun (e : R.event) -> span_ok e.R.diag) o.R.events
+        && ranges_ok 0 o.R.events)
+
+(* --- Unit checks ---------------------------------------------------------- *)
+
+let test_lex_diag () =
+  let d = R.lex_diag ~file:"x.json" "lexical error at line 3, column 7: nope" in
+  Alcotest.(check string) "code" "P004" d.D.code;
+  Alcotest.(check int) "line" 3 d.D.span.Loc.start_line;
+  Alcotest.(check int) "col" 7 d.D.span.Loc.start_col;
+  let d2 = R.lex_diag "unpositioned failure" in
+  Alcotest.(check bool) "dummy span" true (Loc.is_dummy d2.D.span)
+
+(* max_errors = 0 bails after one diagnostic; the give-up event still
+   covers the rest of the input. *)
+let test_max_errors () =
+  let l = List.find (fun l -> l.Lang.name = "json") langs in
+  let eng = R.make (P.make (Lang.grammar l)) in
+  let toks = Lang.tokenize_exn l "} } { ] [" in
+  let o = R.run ~verify_measure:true ~max_errors:0 eng toks in
+  Alcotest.(check int) "one event" 1 (List.length o.R.events);
+  match o.R.verdict with
+  | R.Recovered t -> Alcotest.(check bool) "errors" true (Tree.has_errors t)
+  | _ -> Alcotest.fail "expected Recovered"
+
+let () =
+  Alcotest.run "recover"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "language corpora are conservative" `Quick
+            test_corpus_conservative;
+          Alcotest.test_case "corpus mutants recover" `Quick
+            test_corpus_mutants;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_grammars; prop_spans ] );
+      ( "unit",
+        [
+          Alcotest.test_case "lex_diag parses positions" `Quick test_lex_diag;
+          Alcotest.test_case "max_errors bails early" `Quick test_max_errors;
+        ] );
+    ]

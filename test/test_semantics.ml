@@ -99,6 +99,7 @@ let test_eval_agrees_with_manual_fold () =
       let rec go = function
         | Tree.Leaf t -> sum_actions.Semantics.on_token t
         | Tree.Node (_, kids) -> List.fold_left (fun a k -> a + go k) 0 kids
+        | Tree.Error _ -> Alcotest.fail "plain engine produced an error node"
       in
       go v
     in
